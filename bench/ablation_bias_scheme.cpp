@@ -1,0 +1,92 @@
+/// \file ablation_bias_scheme.cpp
+/// Ablation A4: the SC bias generator (eq. 1) versus a conventional fixed
+/// generator, across capacitor process corners and conversion rates.
+///
+/// The paper's argument for eq. (1): "In modern CMOS technologies the spread
+/// in the absolute value of capacitors is large. Instead of large fixed bias
+/// currents ... the bias currents in this design are made dependent on the
+/// absolute value of the capacitances." The SC generator self-adjusts: at a
+/// slow-cap (+20 %) corner its current rises with the load it must drive; a
+/// fixed generator must carry that margin at every corner and every rate.
+#include <cstdio>
+#include <vector>
+
+#include "pipeline/design.hpp"
+#include "power/power_model.hpp"
+#include "testbench/compare.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/report.hpp"
+
+namespace {
+
+/// Apply a global capacitor corner to every capacitor in the design (the
+/// loads *and* the SC generator's C_B track, as they do on one die).
+adc::pipeline::AdcConfig at_corner(adc::pipeline::AdcConfig cfg, double spread) {
+  cfg.stage.c1.global_spread = spread;
+  cfg.stage.c2.global_spread = spread;
+  cfg.sc_bias.cb.global_spread = spread;
+  // The opamp load grows with the capacitor corner; its nominal-bias
+  // calibration point does not move (same transistors), so a +20 % load
+  // needs +20 % current for the same settling -- exactly what eq. 1 delivers.
+  cfg.stage.opamp.gbw_hz /= (1.0 + spread);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("=== Ablation A4: SC bias generator vs fixed bias across corners ===\n\n");
+
+  const power::PowerModel pm(pipeline::nominal_power_spec());
+  testbench::DynamicTestOptions opt;
+  opt.record_length = 1 << 13;
+
+  AsciiTable table({"corner", "scheme", "SNDR @110MS/s (dB)", "pipeline power (mW)",
+                    "power @20MS/s (mW)"});
+  struct Cell {
+    double sndr = 0.0;
+    double power110 = 0.0;
+  };
+  Cell sc_slow;
+  Cell fixed_slow;
+  for (double corner : {-0.2, 0.0, 0.2}) {
+    for (auto scheme : {pipeline::BiasScheme::kSwitchedCapacitor,
+                        pipeline::BiasScheme::kFixed}) {
+      auto cfg = at_corner(pipeline::nominal_design(), corner);
+      cfg.bias_scheme = scheme;
+      pipeline::PipelineAdc converter(cfg);
+      const auto m = testbench::run_dynamic_test(converter, opt).metrics;
+      const double p110 = pm.estimate(converter, 110e6).pipeline_analog * 1e3;
+      const double p20 = pm.estimate(converter, 20e6).pipeline_analog * 1e3;
+      const char* name =
+          scheme == pipeline::BiasScheme::kSwitchedCapacitor ? "SC (eq. 1)" : "fixed";
+      table.add_row({AsciiTable::num(corner * 100.0, 0) + " %", name,
+                     AsciiTable::num(m.sndr_db, 2), AsciiTable::num(p110, 1),
+                     AsciiTable::num(p20, 1)});
+      if (corner == 0.2) {
+        if (scheme == pipeline::BiasScheme::kSwitchedCapacitor) {
+          sc_slow = {m.sndr_db, p110};
+        } else {
+          fixed_slow = {m.sndr_db, p110};
+        }
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  testbench::PaperComparison cmp("Ablation A4");
+  cmp.add_shape("SC current tracks the slow-cap corner",
+                "full settling performance at +20 % caps",
+                "SNDR " + AsciiTable::num(sc_slow.sndr, 1) + " dB (SC) vs " +
+                    AsciiTable::num(fixed_slow.sndr, 1) + " dB (fixed w/ margin)",
+                sc_slow.sndr >= fixed_slow.sndr - 1.0);
+  cmp.add("fixed scheme at 20 MS/s", "burns the worst-case margin",
+          "rate-independent pipeline power (see table)", "");
+  cmp.add("SC scheme at 20 MS/s", "current scales 5.5x down with the clock",
+          "linear power scaling (Fig. 4)", "");
+  std::printf("%s\n", cmp.render().c_str());
+  return 0;
+}

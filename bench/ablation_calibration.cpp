@@ -1,0 +1,120 @@
+/// \file ablation_calibration.cpp
+/// Ablation A5 (extension beyond the paper): foreground digital calibration
+/// of the stage weights.
+///
+/// The paper achieves its Table I linearity with raw capacitor matching.
+/// This bench shows what the post-2004 alternative buys: measure every MSB
+/// stage's realized DAC weight through the backend and reconstruct with the
+/// measured weights. Three dies are characterized:
+///  * the paper's nominal die (well matched — calibration mostly trades
+///    mismatch noise for exposed front-end distortion);
+///  * a "sloppy" die with 8x worse matching and a 66 dB opamp (a cheaper,
+///    lower-power analog design) — calibration rescues it;
+///  * the same sloppy die with bootstrapped inputs — calibration plus a
+///    clean front end reaches near-12-bit linearity from cheap analog.
+#include <cstdio>
+#include <vector>
+
+#include "calibration/foreground.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/compare.hpp"
+#include "testbench/report.hpp"
+
+namespace {
+
+adc::pipeline::AdcConfig sloppy_design() {
+  auto cfg = adc::pipeline::nominal_design();
+  cfg.stage.c1.sigma_mismatch = 0.004;
+  cfg.stage.c2.sigma_mismatch = 0.004;
+  cfg.stage1_dac_skew = 0.004;
+  cfg.stage.opamp.dc_gain = 2000.0;  // 66 dB
+  return cfg;
+}
+
+struct Row {
+  double snr_raw, sndr_raw, sfdr_raw;
+  double snr_cal, sndr_cal, sfdr_cal;
+};
+
+Row characterize(const adc::pipeline::AdcConfig& cfg) {
+  using namespace adc;
+  pipeline::PipelineAdc converter(cfg);
+  const double fs = converter.conversion_rate();
+  const auto tone = dsp::coherent_frequency(10e6, fs, 1 << 13);
+  const dsp::SineSignal sig(0.985 * converter.full_scale_vpp() / 2.0, tone.frequency_hz);
+  const auto raws = converter.convert_raw(sig, 1 << 13);
+
+  dsp::SpectrumOptions opt;
+  opt.fundamental_bin = tone.cycles;
+  const double lsb = converter.full_scale_vpp() / 4096.0;
+
+  auto analyze = [&](const calibration::CalibrationTable& table) {
+    const calibration::CalibratedReconstructor recon(table);
+    std::vector<double> volts;
+    volts.reserve(raws.size());
+    for (const auto& raw : raws) volts.push_back((recon.reconstruct(raw) - 2047.5) * lsb);
+    return dsp::analyze_tone(volts, fs, opt);
+  };
+
+  const auto raw_m = analyze(calibration::CalibrationTable::nominal(10, 2));
+  const calibration::ForegroundCalibrator cal({512});
+  const auto table = cal.calibrate(converter);
+  const auto cal_m = analyze(table);
+  return {raw_m.snr_db, raw_m.sndr_db, raw_m.sfdr_db,
+          cal_m.snr_db, cal_m.sndr_db, cal_m.sfdr_db};
+}
+
+}  // namespace
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("=== Ablation A5: foreground digital weight calibration ===\n\n");
+
+  auto boot = sloppy_design();
+  boot.input_switch.type = analog::SwitchType::kBootstrapped;
+
+  struct Case {
+    const char* label;
+    pipeline::AdcConfig cfg;
+  };
+  const std::vector<Case> cases{
+      {"nominal die (paper matching)", pipeline::nominal_design()},
+      {"sloppy die (8x mismatch, 66dB opamp)", sloppy_design()},
+      {"sloppy die + bootstrapped input", boot},
+  };
+
+  AsciiTable table({"die", "SNDR raw", "SNDR cal", "SFDR raw", "SFDR cal", "SNR raw",
+                    "SNR cal"});
+  std::vector<Row> rows;
+  for (const auto& c : cases) {
+    const Row r = characterize(c.cfg);
+    rows.push_back(r);
+    table.add_row({c.label, AsciiTable::num(r.sndr_raw, 1), AsciiTable::num(r.sndr_cal, 1),
+                   AsciiTable::num(r.sfdr_raw, 1), AsciiTable::num(r.sfdr_cal, 1),
+                   AsciiTable::num(r.snr_raw, 1), AsciiTable::num(r.snr_cal, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  testbench::PaperComparison cmp("Ablation A5 (extension)");
+  cmp.add_shape("calibration rescues cheap analog", "expected from literature",
+                "+" + AsciiTable::num(rows[1].sndr_cal - rows[1].sndr_raw, 1) +
+                    " dB SNDR / +" +
+                    AsciiTable::num(rows[1].sfdr_cal - rows[1].sfdr_raw, 1) +
+                    " dB SFDR on the sloppy die",
+                rows[1].sndr_cal > rows[1].sndr_raw + 8.0);
+  cmp.add_shape("front end limits the calibrated die",
+                "switch nonlinearity is not weight-correctable",
+                "clean-front-end die reaches SFDR " + AsciiTable::num(rows[2].sfdr_cal, 1) +
+                    " dB vs " + AsciiTable::num(rows[1].sfdr_cal, 1) + " dB",
+                rows[2].sfdr_cal > rows[1].sfdr_cal + 3.0);
+  cmp.add("take-away", "-",
+          "the paper's raw-matching approach and calibration+cheap-analog reach "
+          "similar SNDR; calibration shifts cost from capacitors to logic",
+          "");
+  std::printf("%s\n", cmp.render().c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// \file extension_interleaved.cpp
+/// Extension bench: 220 MS/s from two of the paper's 110 MS/s IP blocks,
+/// ping-pong time-interleaved.
+///
+/// The SC bias generator makes each lane's power scale with its own 110 MS/s
+/// clock, so the pair delivers 2x the rate for 2x the power — but the lane
+/// mismatch (two different dies) raises the classic interleaving image at
+/// f_s/2 - f_in until the digital lane trim removes its offset/gain part;
+/// clock skew leaves a residual image that grows with input frequency.
+#include <cmath>
+#include <cstdio>
+
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+#include "pipeline/design.hpp"
+#include "pipeline/interleaved.hpp"
+#include "testbench/compare.hpp"
+#include "testbench/report.hpp"
+
+namespace {
+
+struct Measurement {
+  double sndr_db = 0.0;
+  double sfdr_db = 0.0;
+  double image_dbc = 0.0;
+};
+
+Measurement measure(adc::pipeline::InterleavedAdc& adc, double fin) {
+  const std::size_t n = 1 << 13;
+  const double fs = adc.conversion_rate();
+  const auto tone = adc::dsp::coherent_frequency(fin, fs, n);
+  const adc::dsp::SineSignal sig(0.985, tone.frequency_hz);
+  const auto codes = adc.convert(sig, n);
+  const auto volts =
+      adc::dsp::codes_to_volts(codes, adc.resolution_bits(), adc.full_scale_vpp());
+  adc::dsp::SpectrumOptions opt;
+  opt.fundamental_bin = tone.cycles;
+  const auto m = adc::dsp::analyze_tone(volts, fs, opt);
+  const auto ps = adc::dsp::power_spectrum(volts);
+  Measurement r;
+  r.sndr_db = m.sndr_db;
+  r.sfdr_db = m.sfdr_db;
+  r.image_dbc = 10.0 * std::log10(ps[n / 2 - tone.cycles] / ps[tone.cycles]);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("=== Extension: 2x time-interleaved operation (220 MS/s) ===\n\n");
+
+  pipeline::InterleavedAdc raw_pair(pipeline::nominal_design(), /*skew=*/1.5e-12);
+  pipeline::InterleavedAdc trimmed_pair(pipeline::nominal_design(), 1.5e-12);
+  const auto trim = trimmed_pair.calibrate_lanes(512);
+
+  AsciiTable table({"f_in (MHz)", "image raw (dBc)", "image trimmed (dBc)",
+                    "SNDR trimmed (dB)"});
+  for (double fin : {10e6, 30e6, 70e6}) {
+    const auto before = measure(raw_pair, fin);
+    const auto after = measure(trimmed_pair, fin);
+    table.add_row({AsciiTable::num(fin / 1e6, 0), AsciiTable::num(before.image_dbc, 1),
+                   AsciiTable::num(after.image_dbc, 1), AsciiTable::num(after.sndr_db, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  testbench::PaperComparison cmp("Interleaving (extension)");
+  cmp.add("lane trim measured", "-",
+          "offset " + AsciiTable::num(trim.offset_codes, 2) + " LSB, gain " +
+              AsciiTable::num(trim.gain, 5),
+          "foreground, 512 averages");
+  const auto m10 = measure(trimmed_pair, 10e6);
+  cmp.add_numeric("SNDR @ 220 MS/s, fin 10 MHz", 64.2, m10.sndr_db, "dB",
+                  "vs the single die at 110 MS/s");
+  cmp.add("residual image after trim", "timing skew only",
+          "grows with fin (see table): 2*pi*fin*skew/2 law", "");
+  cmp.add("power", "2 x P(110 MS/s) = 194 mW", "eq. (1) scales each lane independently",
+          "");
+  std::printf("%s\n", cmp.render().c_str());
+  return 0;
+}

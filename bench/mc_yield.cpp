@@ -1,0 +1,76 @@
+/// \file mc_yield.cpp
+/// Extension bench: Monte-Carlo yield of the IP block against its datasheet.
+///
+/// The paper characterizes one die; an IP vendor (the paper's business,
+/// section 1) ships thousands. This bench fabricates 25 dies (seeds), runs
+/// the Table I dynamic test on each, and reports the SNDR/SFDR distributions
+/// and the yield against the published numbers — the question a licensee
+/// actually asks.
+#include <cstdio>
+
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/monte_carlo.hpp"
+#include "testbench/report.hpp"
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("=== Monte-Carlo yield: 25 dies of the nominal design ===\n\n");
+
+  testbench::MonteCarloOptions mc;
+  mc.num_dies = 25;
+  mc.first_seed = 42;
+
+  auto dynamic_metric = [](auto getter) {
+    return [getter](pipeline::PipelineAdc& die) {
+      testbench::DynamicTestOptions opt;
+      opt.record_length = 1 << 12;
+      return getter(testbench::run_dynamic_test(die, opt).metrics);
+    };
+  };
+
+  const auto sndr = testbench::run_monte_carlo(
+      pipeline::nominal_design(),
+      dynamic_metric([](const dsp::SpectrumMetrics& m) { return m.sndr_db; }), mc);
+  const auto sfdr = testbench::run_monte_carlo(
+      pipeline::nominal_design(),
+      dynamic_metric([](const dsp::SpectrumMetrics& m) { return m.sfdr_db; }), mc);
+  const auto snr = testbench::run_monte_carlo(
+      pipeline::nominal_design(),
+      dynamic_metric([](const dsp::SpectrumMetrics& m) { return m.snr_db; }), mc);
+
+  AsciiTable table({"metric", "mean", "sigma", "min", "max", "yield vs paper value"});
+  table.add_row({"SNR (dB)", AsciiTable::num(snr.mean, 2), AsciiTable::num(snr.std_dev, 2),
+                 AsciiTable::num(snr.min, 2), AsciiTable::num(snr.max, 2),
+                 AsciiTable::num(100.0 * snr.yield_at_least(66.0), 0) + " % >= 66.0"});
+  table.add_row({"SNDR (dB)", AsciiTable::num(sndr.mean, 2),
+                 AsciiTable::num(sndr.std_dev, 2), AsciiTable::num(sndr.min, 2),
+                 AsciiTable::num(sndr.max, 2),
+                 AsciiTable::num(100.0 * sndr.yield_at_least(63.0), 0) + " % >= 63.0"});
+  table.add_row({"SFDR (dB)", AsciiTable::num(sfdr.mean, 2),
+                 AsciiTable::num(sfdr.std_dev, 2), AsciiTable::num(sfdr.min, 2),
+                 AsciiTable::num(sfdr.max, 2),
+                 AsciiTable::num(100.0 * sfdr.yield_at_least(67.0), 0) + " % >= 67.0"});
+  std::printf("%s\n", table.render().c_str());
+
+  // SNDR histogram across dies.
+  testbench::PlotSeries pts{"per-die SNDR", 'o', {}, {}};
+  for (std::size_t i = 0; i < sndr.values.size(); ++i) {
+    pts.x.push_back(static_cast<double>(i));
+    pts.y.push_back(sndr.values[i]);
+  }
+  testbench::PlotOptions plot;
+  plot.title = "SNDR across 25 fabricated dies (paper's die: 64.2 dB)";
+  plot.x_label = "die index";
+  plot.y_label = "dB";
+  plot.height = 12;
+  std::printf("%s\n", testbench::render_plot(std::vector{pts}, plot).c_str());
+
+  std::printf(
+      "The paper's published 64.2 dB SNDR sits %.1f sigma from the population\n"
+      "mean of this model: its die was a typical one, not a golden sample.\n",
+      (64.2 - sndr.mean) / (sndr.std_dev > 0 ? sndr.std_dev : 1.0));
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file perf_simulator.cpp
+/// google-benchmark micro-benchmarks for the simulator kernels: conversion
+/// throughput, FFT, and the full dynamic-test loop. These guard the cost of
+/// the Monte-Carlo sweeps (a Fig. 5 sweep runs ~15 captures of 8k samples).
+#include <benchmark/benchmark.h>
+
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+
+namespace {
+
+void BM_ConvertNominal(benchmark::State& state) {
+  adc::pipeline::PipelineAdc converter(adc::pipeline::nominal_design());
+  const adc::dsp::SineSignal tone(0.985, 10.0037e6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(converter.convert(tone, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConvertNominal)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_ConvertIdeal(benchmark::State& state) {
+  adc::pipeline::PipelineAdc converter(adc::pipeline::ideal_design());
+  const adc::dsp::SineSignal tone(0.985, 10.0037e6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(converter.convert(tone, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConvertIdeal)->Arg(1 << 13);
+
+void BM_FftReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(0.01 * static_cast<double>(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc::dsp::fft_real(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftReal)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_AnalyzeTone(benchmark::State& state) {
+  const std::size_t n = 1 << 13;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * 3.14159265358979 * 745.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc::dsp::analyze_tone(x, 110e6));
+  }
+}
+BENCHMARK(BM_AnalyzeTone);
+
+void BM_FullDynamicTest(benchmark::State& state) {
+  adc::pipeline::PipelineAdc converter(adc::pipeline::nominal_design());
+  adc::testbench::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc::testbench::run_dynamic_test(converter, opt));
+  }
+}
+BENCHMARK(BM_FullDynamicTest);
+
+void BM_DcConversion(benchmark::State& state) {
+  adc::pipeline::PipelineAdc converter(adc::pipeline::nominal_design());
+  double v = -0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(converter.convert_dc(v));
+    v += 1e-4;
+    if (v > 0.9) v = -0.9;
+  }
+}
+BENCHMARK(BM_DcConversion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/// \file calibration_demo.cpp
+/// End-to-end use of the foreground calibration API (the post-paper
+/// extension): measure a die's realized stage weights at production test,
+/// store the table, reconstruct with it in the field.
+#include <cstdio>
+
+#include "calibration/foreground.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/report.hpp"
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  // A die from a hypothetical cheaper process corner: 4x the paper's
+  // capacitor mismatch (smaller caps, less area) and a 66 dB opamp (less
+  // bias current).
+  auto cfg = pipeline::nominal_design();
+  cfg.stage.c1.sigma_mismatch = 0.002;
+  cfg.stage.c2.sigma_mismatch = 0.002;
+  cfg.stage.opamp.dc_gain = 2000.0;
+  pipeline::PipelineAdc die(cfg);
+
+  // --- production test: measure the weights once ---
+  calibration::ForegroundCalibrator calibrator({/*averaging=*/512});
+  const auto table = calibrator.calibrate(die);
+
+  std::printf("measured stage weights (nominal = powers of two):\n");
+  AsciiTable weights({"stage", "measured weight", "nominal", "deviation (ppm)"});
+  const auto nominal = calibration::CalibrationTable::nominal(10, 2);
+  for (std::size_t i = 0; i < table.stage_weights.size(); ++i) {
+    weights.add_row(
+        {std::to_string(i + 1), AsciiTable::num(table.stage_weights[i], 3),
+         AsciiTable::num(nominal.stage_weights[i], 0),
+         AsciiTable::num((table.stage_weights[i] / nominal.stage_weights[i] - 1.0) * 1e6,
+                         0)});
+  }
+  std::printf("%s\n", weights.render().c_str());
+
+  // --- in the field: raw conversions + calibrated reconstruction ---
+  const double fs = die.conversion_rate();
+  const auto tone = dsp::coherent_frequency(10e6, fs, 1 << 13);
+  const dsp::SineSignal signal(0.985, tone.frequency_hz);
+  const auto raws = die.convert_raw(signal, 1 << 13);
+
+  dsp::SpectrumOptions opt;
+  opt.fundamental_bin = tone.cycles;
+  const double lsb = die.full_scale_vpp() / 4096.0;
+  auto analyze = [&](const calibration::CalibrationTable& t) {
+    const calibration::CalibratedReconstructor recon(t);
+    std::vector<double> volts;
+    volts.reserve(raws.size());
+    for (const auto& raw : raws) volts.push_back((recon.reconstruct(raw) - 2047.5) * lsb);
+    return dsp::analyze_tone(volts, fs, opt);
+  };
+  const auto before = analyze(nominal);
+  const auto after = analyze(table);
+
+  AsciiTable result({"metric", "nominal weights", "calibrated weights"});
+  result.add_row({"SNR (dB)", AsciiTable::num(before.snr_db, 2),
+                  AsciiTable::num(after.snr_db, 2)});
+  result.add_row({"SNDR (dB)", AsciiTable::num(before.sndr_db, 2),
+                  AsciiTable::num(after.sndr_db, 2)});
+  result.add_row({"SFDR (dB)", AsciiTable::num(before.sfdr_db, 2),
+                  AsciiTable::num(after.sfdr_db, 2)});
+  result.add_row({"ENOB (bit)", AsciiTable::num(before.enob, 2),
+                  AsciiTable::num(after.enob, 2)});
+  std::printf("%s\n", result.render().c_str());
+
+  std::printf(
+      "Calibrated (fractional) levels carry more than 12 bits of information:\n"
+      "ship them in a 14-bit output word; rounding back to 12 bits would cost\n"
+      "~2 dB of SFDR (see tests/test_calibration.cpp).\n");
+  return after.enob > before.enob - 0.05 ? 0 : 1;
+}

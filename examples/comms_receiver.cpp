@@ -1,0 +1,163 @@
+/// \file comms_receiver.cpp
+/// Domain example from the paper's introduction ("...and communication
+/// systems"): an IF-sampling QAM receiver.
+///
+/// A 16-QAM signal on a 30 MHz intermediate frequency is digitized at
+/// 110 MS/s, digitally mixed to baseband, matched-filtered and sliced. The
+/// example measures error-vector magnitude (EVM) through the real converter
+/// model and compares it against an ideal 12-bit quantizer — showing what
+/// the converter's 10.4 ENOB costs a modem in practice.
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/random.hpp"
+#include "dsp/signal.hpp"
+#include "pipeline/adc.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/report.hpp"
+
+namespace {
+
+constexpr double kRate = 110e6;
+constexpr double kIf = 30e6;
+constexpr double kSymbolRate = 2.75e6;  // 40 samples per symbol
+constexpr int kSamplesPerSymbol = 40;
+constexpr int kSymbols = 256;
+
+/// Root-raised-cosine-ish pulse: a raised-cosine window is close enough for
+/// an EVM demonstration and keeps the example self-contained.
+double pulse(double t_norm) {
+  if (t_norm <= -1.0 || t_norm >= 1.0) return 0.0;
+  return 0.5 * (1.0 + std::cos(std::numbers::pi * t_norm));
+}
+
+/// The modulated IF waveform: sum over symbols of pulse-shaped I/Q on a
+/// 30 MHz carrier.
+class QamSignal final : public adc::dsp::Signal {
+ public:
+  QamSignal(std::vector<std::complex<double>> symbols, double amplitude)
+      : symbols_(std::move(symbols)), amplitude_(amplitude) {}
+
+  [[nodiscard]] double value(double t) const override {
+    const double sym_period = 1.0 / kSymbolRate;
+    const auto center = static_cast<int>(std::floor(t / sym_period));
+    std::complex<double> baseband(0.0, 0.0);
+    for (int k = center - 1; k <= center + 1; ++k) {
+      if (k < 0 || k >= static_cast<int>(symbols_.size())) continue;
+      const double t_norm = (t - k * sym_period) / sym_period;
+      baseband += symbols_[static_cast<std::size_t>(k)] * pulse(t_norm);
+    }
+    const double phase = 2.0 * std::numbers::pi * kIf * t;
+    return amplitude_ * (baseband.real() * std::cos(phase) - baseband.imag() * std::sin(phase));
+  }
+
+  [[nodiscard]] double slope(double t) const override {
+    const double h = 1e-11;
+    return (value(t + h) - value(t - h)) / (2.0 * h);
+  }
+
+ private:
+  std::vector<std::complex<double>> symbols_;
+  double amplitude_;
+};
+
+/// Demodulate a code record: digital downconversion + boxcar matched filter
+/// + symbol-centre sampling. Returns the received constellation points.
+std::vector<std::complex<double>> demodulate(const std::vector<int>& codes) {
+  const std::size_t n = codes.size();
+  std::vector<std::complex<double>> mixed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / kRate;
+    const double phase = 2.0 * std::numbers::pi * kIf * t;
+    const double v = (static_cast<double>(codes[i]) - 2048.0) / 2048.0;
+    mixed[i] = v * std::complex<double>(std::cos(phase), -std::sin(phase)) * 2.0;
+  }
+  std::vector<std::complex<double>> points;
+  for (int s = 2; s < kSymbols - 2; ++s) {
+    std::complex<double> acc(0.0, 0.0);
+    const int center = s * kSamplesPerSymbol;
+    for (int k = center - kSamplesPerSymbol / 4; k < center + kSamplesPerSymbol / 4; ++k) {
+      acc += mixed[static_cast<std::size_t>(k)];
+    }
+    points.push_back(acc / static_cast<double>(kSamplesPerSymbol / 2));
+  }
+  return points;
+}
+
+/// EVM versus the best-fit scaled 16-QAM grid, in percent rms.
+double evm_percent(const std::vector<std::complex<double>>& points) {
+  // Normalize by the rms constellation radius, then slice to the grid
+  // {-3,-1,1,3}/sqrt(10) scaled to the measured gain.
+  double rms = 0.0;
+  for (const auto& p : points) rms += std::norm(p);
+  rms = std::sqrt(rms / static_cast<double>(points.size()));
+  // rms of unit-spaced 16-QAM levels {-3,-1,1,3} is sqrt(10)/sqrt(2) per
+  // axis; scale is the amplitude of the "1" level in received units.
+  const double scale = rms / std::sqrt(10.0);
+  double err = 0.0;
+  double ref = 0.0;
+  // Nearest odd level in {-3,-1,1,3}.
+  auto slice = [&](double x) {
+    double q = std::round((x / scale - 1.0) / 2.0) * 2.0 + 1.0;
+    return adc::common::clamp(q, -3.0, 3.0);
+  };
+  for (const auto& p : points) {
+    const double qi = slice(p.real());
+    const double qq = slice(p.imag());
+    const std::complex<double> ideal(qi * scale, qq * scale);
+    err += std::norm(p - ideal);
+    ref += std::norm(ideal);
+  }
+  return 100.0 * std::sqrt(err / ref);
+}
+
+std::vector<int> digitize(const adc::pipeline::AdcConfig& cfg,
+                          const QamSignal& signal) {
+  adc::pipeline::PipelineAdc converter(cfg);
+  return converter.convert(signal, static_cast<std::size_t>(kSymbols) * kSamplesPerSymbol);
+}
+
+}  // namespace
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  std::printf("IF-sampling 16-QAM receiver: 30 MHz IF digitized at 110 MS/s\n\n");
+
+  // Random 16-QAM symbol stream.
+  common::Rng rng(77);
+  std::vector<std::complex<double>> symbols;
+  symbols.reserve(kSymbols);
+  for (int s = 0; s < kSymbols; ++s) {
+    const double levels[] = {-3.0, -1.0, 1.0, 3.0};
+    symbols.emplace_back(levels[rng.index(4)] / 3.0, levels[rng.index(4)] / 3.0);
+  }
+  const QamSignal signal(symbols, 0.45);  // ~ -3 dBFS average power
+
+  const auto real_codes = digitize(pipeline::nominal_design(), signal);
+  const auto ideal_codes = digitize(pipeline::ideal_design(), signal);
+
+  const double evm_real = evm_percent(demodulate(real_codes));
+  const double evm_ideal = evm_percent(demodulate(ideal_codes));
+
+  AsciiTable table({"converter", "EVM (% rms)", "approx. SNR headroom"});
+  table.add_row({"ideal 12-bit quantizer", AsciiTable::num(evm_ideal, 2),
+                 AsciiTable::num(-adc::common::db_from_amplitude_ratio(evm_ideal / 100.0), 1) +
+                     " dB"});
+  table.add_row({"this paper's converter", AsciiTable::num(evm_real, 2),
+                 AsciiTable::num(-adc::common::db_from_amplitude_ratio(evm_real / 100.0), 1) +
+                     " dB"});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "16-QAM needs roughly EVM < 12%% for reliable slicing; the converter's\n"
+      "distortion at a 30 MHz IF (Fig. 6 territory) leaves ample margin, which\n"
+      "is why an IP block with 10.4 ENOB at Nyquist-region inputs serves\n"
+      "communication SoCs (paper, section 1).\n");
+  return evm_real < 12.0 ? 0 : 1;
+}

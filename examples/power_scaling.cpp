@@ -1,0 +1,63 @@
+/// \file power_scaling.cpp
+/// IP-block integration scenario: one converter design dropped into three
+/// different SoC products, each running it at a different conversion rate.
+///
+/// This is the use case the paper built the SC bias generator for: "full
+/// performance of the ADC from 20 to 140MS/s" with power that scales
+/// automatically — no per-product re-biasing. The example re-clocks the same
+/// die at each product's rate and prints the resulting datasheet line.
+#include <cstdio>
+
+#include "power/fom.hpp"
+#include "power/power_model.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/report.hpp"
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  struct Product {
+    const char* name;
+    double rate_hz;
+    double fin_hz;
+  };
+  const Product products[] = {
+      {"portable ultrasound probe", 25e6, 5e6},
+      {"video digitizer", 74.25e6, 13.5e6},
+      {"IF-sampling comms receiver", 110e6, 10e6},
+      {"overclocked radar capture", 140e6, 10e6},
+  };
+
+  const power::PowerModel power_model(pipeline::nominal_power_spec());
+
+  std::printf("One ADC IP block, four products, zero re-design:\n\n");
+  AsciiTable table({"product", "f_CR", "ENOB (bit)", "SNDR (dB)", "power (mW)",
+                    "energy/conv (pJ)", "Walden (pJ/step)"});
+  for (const auto& product : products) {
+    auto cfg = pipeline::nominal_design();
+    cfg.conversion_rate = product.rate_hz;  // the only knob an integrator turns
+    pipeline::PipelineAdc converter(cfg);
+
+    testbench::DynamicTestOptions opt;
+    opt.target_fin_hz = product.fin_hz;
+    opt.record_length = 1 << 13;
+    const auto m = testbench::run_dynamic_test(converter, opt).metrics;
+
+    const double watts = power_model.estimate(converter).total();
+    const double e_conv = watts / product.rate_hz;
+    table.add_row({product.name, AsciiTable::eng(product.rate_hz, "S/s", 1),
+                   AsciiTable::num(m.enob, 2), AsciiTable::num(m.sndr_db, 1),
+                   AsciiTable::num(watts * 1e3, 1), AsciiTable::num(e_conv * 1e12, 1),
+                   AsciiTable::num(power::walden_pj_per_step(m.enob, product.rate_hz, watts),
+                                   2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "The SC bias generator (I = C_B * f_CR * V_BIAS) keeps the per-conversion\n"
+      "energy nearly constant across a 5.6x rate range: the slow products do not\n"
+      "pay for the fast product's bias margins.\n");
+  return 0;
+}

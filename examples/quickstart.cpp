@@ -1,0 +1,51 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end use of the library: instantiate the paper's converter,
+/// digitize a near-full-scale 10 MHz sine at 110 MS/s, and print the
+/// datasheet metrics next to the paper's Table I values.
+#include <cstdio>
+
+#include "pipeline/design.hpp"
+#include "power/fom.hpp"
+#include "testbench/dynamic_test.hpp"
+
+int main() {
+  using namespace adc;
+
+  // 1. Build the converter the paper describes (a fixed seed = one "die").
+  pipeline::PipelineAdc converter(pipeline::nominal_design());
+  std::printf("12-bit pipeline ADC, %zu stages + %d-bit flash, %.0f MS/s\n",
+              converter.stage_count(), converter.flash().bits(),
+              converter.conversion_rate() / 1e6);
+  std::printf("pipeline latency: %d clock cycles\n\n", converter.latency_cycles());
+
+  // 2. Run the standard dynamic test: coherent 10 MHz tone, 8k-point FFT.
+  testbench::DynamicTestOptions options;
+  options.target_fin_hz = 10e6;
+  options.record_length = 1 << 13;
+  const auto test = testbench::run_dynamic_test(converter, options);
+
+  // 3. Read the datasheet numbers.
+  const auto& m = test.metrics;
+  std::printf("tone: %.4f MHz (%zu cycles in %zu samples)\n", test.tone.frequency_hz / 1e6,
+              test.tone.cycles, m.record_length);
+  std::printf("  SNR  = %6.2f dB   (paper: 67.1 dB)\n", m.snr_db);
+  std::printf("  SNDR = %6.2f dB   (paper: 64.2 dB)\n", m.sndr_db);
+  std::printf("  SFDR = %6.2f dB   (paper: 69.4 dB)\n", m.sfdr_db);
+  std::printf("  THD  = %6.2f dBc\n", m.thd_db);
+  std::printf("  ENOB = %6.2f bit  (paper: 10.4 bit)\n", m.enob);
+  std::printf("  worst spur: HD%d at %.2f MHz\n", m.spur_harmonic_order,
+              m.spur_freq_hz / 1e6);
+
+  // 4. Power at the configured rate via the calibrated power model.
+  const power::PowerModel power_model(pipeline::nominal_power_spec());
+  const auto p = power_model.estimate(converter);
+  std::printf("\npower: %.1f mW at %.0f MS/s (paper: 97 mW)\n", p.total() * 1e3,
+              converter.conversion_rate() / 1e6);
+  std::printf("  pipeline %.1f / refs %.1f / digital %.1f / bias+bg+cm %.1f / cmp %.1f mW\n",
+              p.pipeline_analog * 1e3, p.reference_buffer * 1e3, p.digital * 1e3,
+              (p.bias_generator + p.bandgap_cm) * 1e3, p.comparators * 1e3);
+
+  const double fm = power::paper_fm(m.enob, converter.conversion_rate(), 0.86e-6, p.total());
+  std::printf("figure of merit (paper eq. 2): %.0f (paper: ~1780)\n", fm);
+  return 0;
+}

@@ -1,0 +1,136 @@
+/// \file ultrasound_frontend.cpp
+/// Domain example from the paper's introduction ("spanning from imaging to
+/// ultrasound"): an 8-channel ultrasound receive front end.
+///
+/// Each channel digitizes a 5 MHz pulse echo with its own converter die
+/// (independent Monte-Carlo seed = independent mismatch), and a simple
+/// delay-and-sum beamformer combines the channels. The example shows two
+/// system-level effects of the ADC design:
+///  * per-channel mismatch decorrelates, so the beamformer gains SNR close
+///    to the ideal sqrt(N);
+///  * the converter runs at 40 MS/s here, where the SC bias generator cuts
+///    its power to ~40 mW without any redesign.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "dsp/signal.hpp"
+#include "power/power_model.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/report.hpp"
+
+namespace {
+
+/// A gaussian-windowed 5 MHz echo arriving at `t0`, as seen by one element.
+class EchoSignal final : public adc::dsp::Signal {
+ public:
+  EchoSignal(double amplitude, double t0) : amplitude_(amplitude), t0_(t0) {}
+
+  [[nodiscard]] double value(double t) const override {
+    const double dt = t - t0_;
+    const double envelope = std::exp(-dt * dt / (2.0 * kSigma * kSigma));
+    return amplitude_ * envelope * std::sin(2.0 * std::numbers::pi * kF0 * dt);
+  }
+  [[nodiscard]] double slope(double t) const override {
+    const double h = 1e-11;  // envelope derivative via small central difference
+    return (value(t + h) - value(t - h)) / (2.0 * h);
+  }
+
+ private:
+  static constexpr double kF0 = 5e6;
+  static constexpr double kSigma = 400e-9;
+  double amplitude_;
+  double t0_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace adc;
+  using testbench::AsciiTable;
+
+  constexpr int kChannels = 8;
+  constexpr double kRate = 40e6;
+  constexpr std::size_t kSamples = 1 << 11;
+  // Speed of sound geometry: one extra sample of delay per element.
+  constexpr double kDelayStep = 1.0 / kRate;
+
+  std::printf("8-channel ultrasound receive front end, %d MS/s per channel\n\n",
+              static_cast<int>(kRate / 1e6));
+
+  // Digitize every channel with its own die.
+  std::vector<std::vector<int>> channel_codes;
+  for (int ch = 0; ch < kChannels; ++ch) {
+    auto cfg = pipeline::nominal_design(pipeline::kNominalSeed + static_cast<unsigned>(ch));
+    cfg.conversion_rate = kRate;
+    pipeline::PipelineAdc converter(cfg);
+    const EchoSignal echo(0.6, 10e-6 + ch * kDelayStep);
+    channel_codes.push_back(converter.convert(echo, kSamples));
+  }
+
+  // Per-channel DC calibration: every die has its own offset (comparator and
+  // mismatch draws); summing uncalibrated channels would add those offsets
+  // coherently. Estimate each channel's DC from a quiet window, as any real
+  // beamformer does.
+  std::vector<double> dc(kChannels, 0.0);
+  for (int ch = 0; ch < kChannels; ++ch) {
+    double acc = 0.0;
+    for (std::size_t n = 1200; n < 2000; ++n) {
+      acc += static_cast<double>(channel_codes[static_cast<std::size_t>(ch)][n]);
+    }
+    dc[static_cast<std::size_t>(ch)] = acc / 800.0;
+  }
+
+  // Delay-and-sum beamforming in the digital domain (integer delays here).
+  std::vector<double> beam(kSamples, 0.0);
+  for (int ch = 0; ch < kChannels; ++ch) {
+    for (std::size_t n = 0; n < kSamples; ++n) {
+      const std::size_t src = n + static_cast<std::size_t>(ch);
+      if (src < kSamples) {
+        beam[n] += static_cast<double>(channel_codes[static_cast<std::size_t>(ch)][src]) -
+                   dc[static_cast<std::size_t>(ch)];
+      }
+    }
+  }
+
+  // Estimate echo peak and out-of-window noise on one channel vs the beam.
+  auto summarize = [&](const std::vector<double>& x) {
+    double peak = 0.0;
+    for (std::size_t n = 350; n < 500; ++n) peak = std::max(peak, std::abs(x[n]));
+    std::vector<double> quiet(x.begin() + 1200, x.begin() + 2000);
+    return std::pair<double, double>(peak, adc::common::rms(quiet));
+  };
+  std::vector<double> single(kSamples);
+  for (std::size_t n = 0; n < kSamples; ++n) {
+    single[n] = static_cast<double>(channel_codes[0][n]) - dc[0];
+  }
+  const auto [peak1, noise1] = summarize(single);
+  const auto [peakN, noiseN] = summarize(beam);
+
+  const double snr_gain_db =
+      adc::common::db_from_amplitude_ratio((peakN / noiseN) / (peak1 / noise1));
+
+  AsciiTable table({"quantity", "single channel", "8-channel beam"});
+  table.add_row({"echo peak (LSB)", AsciiTable::num(peak1, 1), AsciiTable::num(peakN, 1)});
+  table.add_row({"noise floor (LSB rms)", AsciiTable::num(noise1, 2),
+                 AsciiTable::num(noiseN, 2)});
+  table.add_row({"echo SNR (dB)",
+                 AsciiTable::num(adc::common::db_from_amplitude_ratio(peak1 / noise1), 1),
+                 AsciiTable::num(adc::common::db_from_amplitude_ratio(peakN / noiseN), 1)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("beamforming SNR gain: %.1f dB (ideal for 8 channels: %.1f dB)\n",
+              snr_gain_db, adc::common::db_from_amplitude_ratio(std::sqrt(8.0)));
+
+  // System power: 8 converters at 40 MS/s.
+  auto cfg = pipeline::nominal_design();
+  cfg.conversion_rate = kRate;
+  pipeline::PipelineAdc probe(cfg);
+  const power::PowerModel pm(pipeline::nominal_power_spec());
+  const double per_channel = pm.estimate(probe).total();
+  std::printf("\nfront-end power: 8 x %.1f mW = %.1f mW at 40 MS/s\n", per_channel * 1e3,
+              8.0 * per_channel * 1e3);
+  std::printf("(the same silicon would burn 8 x 97 mW with a fixed worst-case bias)\n");
+  return 0;
+}

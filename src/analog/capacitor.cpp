@@ -1,0 +1,32 @@
+#include "analog/capacitor.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace adc::analog {
+
+Capacitor::Capacitor(const CapacitorSpec& spec, adc::common::Rng& rng)
+    : value_(0.0), nominal_(spec.nominal_farad) {
+  adc::common::require(spec.nominal_farad > 0.0, "Capacitor: non-positive nominal value");
+  adc::common::require(spec.sigma_mismatch >= 0.0 && spec.sigma_mismatch < 0.5,
+                       "Capacitor: unreasonable mismatch sigma");
+  const double local = rng.gaussian(spec.sigma_mismatch);
+  value_ = spec.nominal_farad * (1.0 + spec.global_spread) * (1.0 + local);
+  adc::common::require(value_ > 0.0, "Capacitor: realized value collapsed to <= 0");
+}
+
+Capacitor Capacitor::ideal(double farad) {
+  adc::common::require(farad > 0.0, "Capacitor::ideal: non-positive value");
+  return Capacitor(farad, farad);
+}
+
+double Capacitor::relative_error() const { return value_ / nominal_ - 1.0; }
+
+double ktc_noise_rms(double capacitance_farad) {
+  adc::common::require(capacitance_farad > 0.0, "ktc_noise_rms: non-positive capacitance");
+  return std::sqrt(adc::common::kt_nominal / capacitance_farad);
+}
+
+}  // namespace adc::analog

@@ -1,0 +1,55 @@
+/// \file comparator.hpp
+/// Dynamic-latch comparator model for the ADSC and the back-end flash.
+///
+/// Pipeline redundancy (the half bit per 1.5-bit stage) makes the ADSC
+/// comparators remarkably tolerant: any offset below V_REF/4 is digitally
+/// corrected. The model therefore includes a generous random offset, per
+/// decision input-referred noise, and a metastability window; the property
+/// tests verify the redundancy claim by sweeping the offset to the edge.
+#pragma once
+
+#include "common/random.hpp"
+
+namespace adc::analog {
+
+/// Statistical parameters of one comparator.
+struct ComparatorSpec {
+  double threshold = 0.0;        ///< nominal decision threshold [V]
+  double sigma_offset = 10e-3;   ///< one-sigma random offset [V]
+  double noise_rms = 0.5e-3;     ///< per-decision input noise [V rms]
+  /// Half-width of the metastability window [V]: inputs within this window
+  /// of the effective threshold resolve randomly.
+  double metastable_window = 5e-6;
+};
+
+/// One realized comparator (offset drawn at construction).
+class Comparator {
+ public:
+  /// Draw the offset from `rng`; per-decision noise uses a child stream.
+  Comparator(const ComparatorSpec& spec, adc::common::Rng& rng);
+
+  /// Compare `v` against the effective threshold. Noisy and possibly
+  /// metastable: not const because it consumes random draws.
+  [[nodiscard]] bool decide(double v);
+
+  /// Compare against an externally supplied threshold (plus this
+  /// comparator's offset). Used when the threshold is derived from a
+  /// reference that drifts sample to sample: threshold generation and DAC
+  /// share the reference in silicon, so both must see the same value.
+  [[nodiscard]] bool decide_with_threshold(double v, double threshold);
+
+  /// Effective threshold including the drawn offset [V].
+  [[nodiscard]] double effective_threshold() const { return spec_.threshold + offset_; }
+  /// The drawn offset [V].
+  [[nodiscard]] double offset() const { return offset_; }
+
+  /// Force a specific offset (failure injection in tests).
+  void set_offset(double offset) { offset_ = offset; }
+
+ private:
+  ComparatorSpec spec_;
+  double offset_;
+  adc::common::Rng noise_rng_;
+};
+
+}  // namespace adc::analog

@@ -1,0 +1,80 @@
+#include "analog/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace adc::analog {
+
+Opamp::Opamp(const OpampParams& params) : params_(params) {
+  adc::common::require(params.dc_gain > 1.0, "Opamp: DC gain must exceed unity");
+  adc::common::require(params.gbw_hz > 0.0, "Opamp: GBW must be positive");
+  adc::common::require(params.slew_rate > 0.0, "Opamp: slew rate must be positive");
+  adc::common::require(params.bias_nominal > 0.0, "Opamp: nominal bias must be positive");
+  adc::common::require(params.output_swing > 0.0, "Opamp: output swing must be positive");
+}
+
+double Opamp::gbw_at_bias(double ibias) const {
+  if (ibias <= 0.0) return 0.0;
+  return params_.gbw_hz * std::sqrt(ibias / params_.bias_nominal);
+}
+
+double Opamp::slew_at_bias(double ibias) const {
+  if (ibias <= 0.0) return 0.0;
+  return params_.slew_rate * (ibias / params_.bias_nominal);
+}
+
+double Opamp::time_constant(double beta, double ibias) const {
+  adc::common::require(beta > 0.0 && beta <= 1.0, "Opamp: beta outside (0, 1]");
+  const double gbw = gbw_at_bias(ibias);
+  adc::common::require(gbw > 0.0, "Opamp: zero bandwidth (no bias?)");
+  return 1.0 / (2.0 * std::numbers::pi * beta * gbw);
+}
+
+SettleResult Opamp::settle(double target, double t_settle, double beta, double ibias) const {
+  SettleResult r;
+
+  // Finite-gain static error: the loop settles to target/(1 + 1/(A0*beta)).
+  const double loop_gain = params_.dc_gain * beta;
+  const double final_value = target / (1.0 + 1.0 / loop_gain);
+  r.static_error = target - final_value;
+
+  // gm compression makes tau grow with output amplitude: the settling error
+  // becomes signal-dependent near the speed limit (odd-order distortion).
+  const double swing_frac =
+      std::min(std::abs(final_value) / params_.output_swing, 1.0);
+  const double tau = time_constant(beta, ibias) * (1.0 + params_.gm_compression * swing_frac);
+  const double sr = slew_at_bias(ibias);
+
+  const double mag = std::abs(final_value);
+  const double sign = final_value < 0.0 ? -1.0 : 1.0;
+
+  double dyn_err_mag = 0.0;
+  if (mag <= sr * tau) {
+    // Pure linear settling.
+    dyn_err_mag = mag * std::exp(-t_settle / tau);
+  } else {
+    // Slew until the remaining step equals SR*tau, then settle linearly.
+    r.slew_limited = true;
+    const double t_slew = (mag - sr * tau) / sr;
+    if (t_settle <= t_slew) {
+      dyn_err_mag = mag - sr * t_settle;  // still slewing at the sample instant
+    } else {
+      dyn_err_mag = sr * tau * std::exp(-(t_settle - t_slew) / tau);
+    }
+  }
+  r.dynamic_error = sign * dyn_err_mag;
+
+  double out = final_value - r.dynamic_error;
+  if (std::abs(out) > params_.output_swing) {
+    out = adc::common::clamp(out, -params_.output_swing, params_.output_swing);
+    r.clipped = true;
+  }
+  r.output = out;
+  return r;
+}
+
+}  // namespace adc::analog

@@ -1,0 +1,68 @@
+/// \file opamp.hpp
+/// Macromodel of the two-stage Miller opamp with differential-pair output
+/// stage (the paper's stage amplifier, after Kelly et al., ISSCC 2001).
+///
+/// The model captures what matters for a pipeline stage residue:
+///  * static closed-loop gain error from finite DC gain: 1/(1 + 1/(A0*beta));
+///  * dynamic settling error: single-pole linear settling with time constant
+///    tau = 1/(2*pi*beta*GBW), preceded by a slew-limited phase when the step
+///    exceeds what the input pair can handle;
+///  * bias dependence: gm scales as sqrt(I) (square law), so GBW ~ sqrt(I)
+///    and SR ~ I. Combined with the SC bias generator (I ~ f_CR) this yields
+///    the Fig. 5 high-rate roll-off: settling time constants per half-period
+///    N_tau ~ 1/sqrt(f_CR);
+///  * weak gm compression with output amplitude, making the settling error
+///    signal-dependent (distortion, not just gain error) near the speed limit;
+///  * output swing clipping.
+#pragma once
+
+namespace adc::analog {
+
+/// Opamp electrical parameters, specified at a nominal tail bias current.
+struct OpampParams {
+  double dc_gain = 10000.0;        ///< A0, linear (80 dB)
+  double gbw_hz = 900e6;           ///< unity-gain bandwidth at nominal bias
+  double slew_rate = 1.2e9;        ///< [V/s] at nominal bias
+  double bias_nominal = 1e-3;      ///< [A] tail current the above refer to
+  double output_swing = 1.4;       ///< max |Vout| differential [V]
+  /// Relative lengthening of the settling time constant at full output swing
+  /// (gm compression): tau_eff = tau * (1 + compression * |vout|/swing).
+  double gm_compression = 0.08;
+};
+
+/// Result of settling one amplification phase.
+struct SettleResult {
+  double output = 0.0;        ///< settled differential output [V]
+  double static_error = 0.0;  ///< contribution of finite DC gain [V]
+  double dynamic_error = 0.0; ///< contribution of incomplete settling [V]
+  bool slew_limited = false;  ///< the step entered the slew-limited region
+  bool clipped = false;       ///< output hit the swing limit
+};
+
+/// Behavioral two-stage Miller opamp.
+class Opamp {
+ public:
+  explicit Opamp(const OpampParams& params);
+
+  /// GBW [Hz] at tail bias `ibias` [A] (square-law gm ~ sqrt(I)).
+  [[nodiscard]] double gbw_at_bias(double ibias) const;
+
+  /// Slew rate [V/s] at tail bias `ibias` [A] (SR = I/Cc ~ I).
+  [[nodiscard]] double slew_at_bias(double ibias) const;
+
+  /// Closed-loop time constant [s] for feedback factor `beta` at bias
+  /// `ibias`: tau = 1 / (2*pi*beta*GBW).
+  [[nodiscard]] double time_constant(double beta, double ibias) const;
+
+  /// Settle from 0 towards `target` for `t_settle` seconds in closed loop
+  /// with feedback factor `beta` at tail bias `ibias`.
+  [[nodiscard]] SettleResult settle(double target, double t_settle, double beta,
+                                    double ibias) const;
+
+  [[nodiscard]] const OpampParams& params() const { return params_; }
+
+ private:
+  OpampParams params_;
+};
+
+}  // namespace adc::analog

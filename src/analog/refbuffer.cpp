@@ -1,0 +1,49 @@
+#include "analog/refbuffer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace adc::analog {
+
+ReferenceBuffer::ReferenceBuffer(const RefBufferSpec& spec, adc::common::Rng& rng)
+    : ReferenceBuffer(spec, rng.gaussian(spec.sigma_level)) {}
+
+ReferenceBuffer::ReferenceBuffer(const RefBufferSpec& spec, double level_error)
+    : spec_(spec), level_error_(level_error) {
+  adc::common::require(spec.nominal_vref > 0.0, "ReferenceBuffer: non-positive VREF");
+  adc::common::require(spec.decap_farad > 0.0, "ReferenceBuffer: non-positive decap");
+  adc::common::require(spec.output_resistance >= 0.0, "ReferenceBuffer: negative Rout");
+}
+
+ReferenceBuffer ReferenceBuffer::ideal(double vref, double common_mode) {
+  RefBufferSpec spec;
+  spec.nominal_vref = vref;
+  spec.common_mode = common_mode;
+  spec.charge_per_event = 0.0;
+  spec.sigma_level = 0.0;
+  spec.output_resistance = 0.0;
+  return ReferenceBuffer(spec, 0.0);
+}
+
+double ReferenceBuffer::vref() const {
+  return spec_.nominal_vref + level_error_ - droop_;
+}
+
+void ReferenceBuffer::consume(double activity, double period_s) {
+  if (spec_.charge_per_event <= 0.0) return;
+  // Charge dumped on the decap this conversion.
+  const double dv = activity * spec_.charge_per_event / spec_.decap_farad;
+  droop_ += dv;
+  // The buffer recharges the decap with time constant Rout*Cdecap.
+  if (spec_.output_resistance > 0.0 && period_s > 0.0) {
+    const double tau = spec_.output_resistance * spec_.decap_farad;
+    droop_ *= std::exp(-period_s / tau);
+  } else {
+    droop_ = 0.0;
+  }
+}
+
+void ReferenceBuffer::reset() { droop_ = 0.0; }
+
+}  // namespace adc::analog

@@ -1,0 +1,150 @@
+#include "analog/switches.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace adc::analog {
+
+SwitchModel::SwitchModel(const SwitchConfig& config)
+    : config_(config),
+      nmos_(MosParams::nmos_018(config.w_over_l_nmos)),
+      pmos_(MosParams::pmos_018(config.w_over_l_pmos)) {
+  adc::common::require(config.vdd > 0.5, "SwitchModel: VDD too low");
+  adc::common::require(config.cj0 >= 0.0, "SwitchModel: negative junction cap");
+}
+
+double SwitchModel::g_on(double u) const {
+  u = adc::common::clamp(u, 0.0, config_.vdd);
+  double g = 0.0;
+  switch (config_.type) {
+    case SwitchType::kNmosOnly: {
+      // Gate at VDD, source at u, bulk at ground: body effect raises Vth.
+      const double vov = config_.vdd - u - nmos_.vth(u);
+      g = nmos_.g_on(vov);
+      break;
+    }
+    case SwitchType::kTransmissionGate:
+    case SwitchType::kBulkSwitchedTg: {
+      const double vov_n = config_.vdd - u - nmos_.vth(u);
+      // PMOS: gate at 0, source at u. Conventional TG keeps the N-well at
+      // VDD, so the source-to-bulk voltage is VDD-u and the body effect
+      // raises |Vth| exactly where the PMOS is needed most. Bulk switching
+      // ties the well to the source when on: vsb = 0.
+      const double vsb_p =
+          config_.type == SwitchType::kBulkSwitchedTg ? 0.0 : config_.vdd - u;
+      const double vov_p = u - pmos_.vth(vsb_p);
+      g = nmos_.g_on(vov_n) + pmos_.g_on(vov_p);
+      break;
+    }
+    case SwitchType::kBootstrapped: {
+      // Gate tracks source + VDD: constant overdrive, no body-effect
+      // modulation of the drive (the bulk still follows the source in a
+      // well-designed bootstrap).
+      const double vov = config_.vdd - nmos_.vth(0.0);
+      g = nmos_.g_on(vov);
+      break;
+    }
+  }
+  return g;
+}
+
+double SwitchModel::r_on(double u) const {
+  const double g = g_on(u);
+  // An underdriven TG can have a dead zone near mid-rail at very low supply;
+  // keep the model finite so the tracking error saturates instead of
+  // diverging.
+  constexpr double g_floor = 1e-6;  // 1 MOhm ceiling
+  return 1.0 / std::max(g, g_floor);
+}
+
+double SwitchModel::c_junction(double u) const {
+  u = adc::common::clamp(u, 0.0, config_.vdd);
+  // Reverse-biased drain junction to the grounded substrate.
+  return config_.cj0 / std::pow(1.0 + u / config_.cj_phi, config_.cj_m);
+}
+
+double SwitchModel::time_constant(double u, double c_load) const {
+  return r_on(u) * (c_load + c_junction(u));
+}
+
+namespace {
+
+/// Effective channel-charge overdrive: the hard square-law turn-off is
+/// softened by the moderate/weak-inversion tail, so the charge approaches
+/// zero smoothly (softplus with scale `s`) instead of kinking.
+double soft_overdrive(double vov, double s) {
+  if (s <= 0.0) return vov > 0.0 ? vov : 0.0;
+  if (vov > 8.0 * s) return vov;  // avoid exp overflow, exact limit
+  return s * std::log1p(std::exp(vov / s));
+}
+
+}  // namespace
+
+double SwitchModel::channel_charge(double u) const {
+  u = adc::common::clamp(u, 0.0, config_.vdd);
+  const Mos& nmos = nmos_;
+  const Mos& pmos = pmos_;
+  const double cch_n = config_.w_over_l_nmos * config_.channel_cap_per_wl;
+  const double cch_p = config_.w_over_l_pmos * config_.channel_cap_per_wl;
+  const double soft = config_.injection_softening;
+
+  double q = 0.0;
+  switch (config_.type) {
+    case SwitchType::kNmosOnly: {
+      q -= cch_n * soft_overdrive(config_.vdd - u - nmos.vth(u), soft);  // electrons
+      break;
+    }
+    case SwitchType::kTransmissionGate:
+    case SwitchType::kBulkSwitchedTg: {
+      const double vsb_p =
+          config_.type == SwitchType::kBulkSwitchedTg ? 0.0 : config_.vdd - u;
+      q -= cch_n * soft_overdrive(config_.vdd - u - nmos.vth(u), soft);
+      q += cch_p * soft_overdrive(u - pmos.vth(vsb_p), soft);  // holes
+      break;
+    }
+    case SwitchType::kBootstrapped: {
+      // Constant overdrive: constant charge, no signal dependence (and a
+      // well-designed bootstrap adds a dummy to cancel even that).
+      q -= cch_n * (config_.vdd - nmos.vth(0.0));
+      break;
+    }
+  }
+  return q;
+}
+
+DifferentialSampler::DifferentialSampler(const SwitchConfig& config, double common_mode,
+                                         double c_load)
+    : switch_(config), common_mode_(common_mode), c_load_(c_load) {
+  adc::common::require(c_load > 0.0, "DifferentialSampler: non-positive load");
+  adc::common::require(common_mode > 0.0 && common_mode < config.vdd,
+                       "DifferentialSampler: CM outside supply range");
+}
+
+double DifferentialSampler::average_time_constant(double v_diff) const {
+  const double up = common_mode_ + 0.5 * v_diff;
+  const double un = common_mode_ - 0.5 * v_diff;
+  return 0.5 * (switch_.time_constant(up, c_load_) + switch_.time_constant(un, c_load_));
+}
+
+double DifferentialSampler::charge_injection_error(double v_diff) const {
+  const double frac = switch_.config().injection_fraction;
+  if (frac <= 0.0) return 0.0;
+  const double up = common_mode_ + 0.5 * v_diff;
+  const double un = common_mode_ - 0.5 * v_diff;
+  // Each side's sampled voltage shifts by frac * q(u) / C; the differential
+  // error keeps only the odd part of q(u) around the common mode.
+  return frac * (switch_.channel_charge(up) - switch_.channel_charge(un)) / c_load_;
+}
+
+double DifferentialSampler::tracking_error(double v_diff, double dvdt) const {
+  // First-order incomplete-tracking model: each side lags its input by its
+  // own tau; the differential error is the average tau times the slope. The
+  // average is even in v_diff, so only odd-order distortion survives, growing
+  // linearly with input frequency -- the Fig. 6 mechanism.
+  return -average_time_constant(v_diff) * dvdt;
+}
+
+}  // namespace adc::analog

@@ -1,0 +1,25 @@
+/// \file bias_source.hpp
+/// Abstract bias-current source feeding the pipeline stages.
+///
+/// Two implementations exist: the paper's switched-capacitor generator
+/// (current ~ C_B * f_CR * V_BIAS, eq. 1) and a conventional fixed generator
+/// sized for the worst-case corner. The pipeline and the power model only
+/// see this interface, so the two schemes are interchangeable for the
+/// ablation bench A4.
+#pragma once
+
+namespace adc::bias {
+
+/// A master bias-current source whose output may depend on the clock rate.
+class BiasSource {
+ public:
+  virtual ~BiasSource() = default;
+
+  /// Master output current [A] when clocked at conversion rate `f_cr` [Hz].
+  [[nodiscard]] virtual double master_current(double f_cr) const = 0;
+
+  /// Quiescent current of the generator itself [A] (for the power model).
+  [[nodiscard]] virtual double overhead_current() const = 0;
+};
+
+}  // namespace adc::bias

@@ -1,0 +1,18 @@
+#include "bias/fixed_bias.hpp"
+
+#include "common/error.hpp"
+
+namespace adc::bias {
+
+FixedBiasGenerator::FixedBiasGenerator(const FixedBiasSpec& spec, adc::common::Rng& rng)
+    : spec_(spec), process_factor_(1.0 + rng.gaussian(spec.sigma_process)) {
+  adc::common::require(spec.design_current > 0.0, "FixedBiasGenerator: non-positive current");
+  adc::common::require(spec.margin >= 1.0, "FixedBiasGenerator: margin below unity");
+}
+
+double FixedBiasGenerator::master_current(double f_cr) const {
+  (void)f_cr;  // a fixed generator cannot see the clock
+  return spec_.design_current * spec_.margin * process_factor_;
+}
+
+}  // namespace adc::bias

@@ -1,0 +1,40 @@
+#include "clocking/two_phase.hpp"
+
+#include "common/error.hpp"
+
+namespace adc::clocking {
+
+PhaseGenerator::PhaseGenerator(const PhaseTimingSpec& spec) : spec_(spec) {
+  adc::common::require(spec.non_overlap_s >= 0.0, "PhaseGenerator: negative non-overlap");
+  adc::common::require(spec.local_sequence_delay_s >= 0.0,
+                       "PhaseGenerator: negative sequencing delay");
+  adc::common::require(spec.phase_overhead_s >= 0.0, "PhaseGenerator: negative overhead");
+}
+
+double PhaseGenerator::dead_time() const {
+  switch (spec_.scheme) {
+    case ClockingScheme::kConventionalNonOverlap:
+      return spec_.non_overlap_s;
+    case ClockingScheme::kLocalSequential:
+      return spec_.local_sequence_delay_s;
+  }
+  return 0.0;
+}
+
+PhaseWindows PhaseGenerator::windows(double f_cr) const {
+  adc::common::require(f_cr > 0.0, "PhaseGenerator: non-positive conversion rate");
+  PhaseWindows w;
+  w.period_s = 1.0 / f_cr;
+  const double half = 0.5 * w.period_s;
+  const double lost = dead_time() + spec_.phase_overhead_s;
+  adc::common::require(half > lost,
+                       "PhaseGenerator: conversion rate too high for the clocking overheads");
+  w.track_s = half - lost;
+  w.settle_s = half - lost;
+  // The sampled charge sits on the hold caps for the full amplification half
+  // period (droop window).
+  w.hold_s = half;
+  return w;
+}
+
+}  // namespace adc::clocking

@@ -1,0 +1,52 @@
+/// \file constants.hpp
+/// Physical and process constants used throughout the behavioral models.
+#pragma once
+
+namespace adc::common {
+
+/// Boltzmann constant [J/K].
+inline constexpr double k_boltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double q_electron = 1.602176634e-19;
+
+/// Default junction temperature for all noise calculations [K].
+/// The paper characterizes at room temperature; 300 K is the conventional
+/// value for kT/C budgeting.
+inline constexpr double t_nominal_kelvin = 300.0;
+
+/// kT at the nominal temperature [J].
+inline constexpr double kt_nominal = k_boltzmann * t_nominal_kelvin;
+
+/// Thermal voltage kT/q at nominal temperature [V].
+inline constexpr double vt_thermal = kt_nominal / q_electron;
+
+/// Nominal supply voltage of the 0.18um digital CMOS process [V] (paper, Table I).
+inline constexpr double vdd_nominal = 1.8;
+
+/// Silicon bandgap voltage extrapolated to 0 K [V]; used by the bandgap model.
+inline constexpr double silicon_vg0 = 1.205;
+
+namespace process_018um {
+/// Representative 0.18um digital CMOS device constants. These are textbook
+/// values for a generic 0.18um node, not any specific foundry PDK; they only
+/// need to be *typical* since the behavioral models are calibrated at the
+/// converter level (see DESIGN.md, calibration policy).
+
+/// NMOS process transconductance u0*Cox [A/V^2].
+inline constexpr double kp_nmos = 340e-6;
+/// PMOS process transconductance u0*Cox [A/V^2] (~1/4 of NMOS mobility).
+inline constexpr double kp_pmos = 80e-6;
+/// NMOS threshold voltage [V].
+inline constexpr double vth_nmos = 0.45;
+/// PMOS threshold voltage magnitude [V].
+inline constexpr double vth_pmos = 0.48;
+/// Body-effect coefficient gamma [sqrt(V)] for the bulk-switching model.
+inline constexpr double body_gamma = 0.45;
+/// Surface potential 2*phi_F [V] for the body-effect model.
+inline constexpr double body_2phif = 0.85;
+/// Mobility degradation coefficient theta [1/V].
+inline constexpr double mobility_theta = 0.25;
+}  // namespace process_018um
+
+}  // namespace adc::common

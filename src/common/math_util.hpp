@@ -1,0 +1,81 @@
+/// \file math_util.hpp
+/// Small numeric helpers shared by the DSP and circuit models.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adc::common {
+
+/// Power ratio to decibels: 10*log10(ratio). `ratio` must be > 0.
+[[nodiscard]] double db_from_power_ratio(double ratio);
+
+/// Amplitude ratio to decibels: 20*log10(ratio). `ratio` must be > 0.
+[[nodiscard]] double db_from_amplitude_ratio(double ratio);
+
+/// Decibels to power ratio: 10^(db/10).
+[[nodiscard]] double power_ratio_from_db(double db);
+
+/// Decibels to amplitude ratio: 10^(db/20).
+[[nodiscard]] double amplitude_ratio_from_db(double db);
+
+/// SNDR in dB to effective number of bits: (SNDR - 1.76) / 6.02.
+[[nodiscard]] double enob_from_sndr_db(double sndr_db);
+
+/// ENOB to the SNDR of an ideal converter of that resolution.
+[[nodiscard]] double sndr_db_from_enob(double enob);
+
+/// True when n is a power of two (n >= 1).
+[[nodiscard]] bool is_power_of_two(std::size_t n);
+
+/// Arithmetic mean. Empty input returns 0.
+[[nodiscard]] double mean(std::span<const double> x);
+
+/// Population variance (divide by N). Empty input returns 0.
+[[nodiscard]] double variance(std::span<const double> x);
+
+/// Population standard deviation.
+[[nodiscard]] double std_dev(std::span<const double> x);
+
+/// Root-mean-square value. Empty input returns 0.
+[[nodiscard]] double rms(std::span<const double> x);
+
+/// Minimum and maximum of a non-empty span.
+struct MinMax {
+  double min = 0.0;
+  double max = 0.0;
+};
+[[nodiscard]] MinMax min_max(std::span<const double> x);
+
+/// Least-squares straight-line fit y = slope*x + intercept.
+/// Requires at least two points.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination R^2 of the fit.
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Clamp x into [lo, hi].
+[[nodiscard]] constexpr double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Greatest common divisor (for coherent-sampling bin selection).
+[[nodiscard]] std::size_t gcd(std::size_t a, std::size_t b);
+
+/// Linearly spaced vector of n points from lo to hi inclusive (n >= 2),
+/// or {lo} when n == 1.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Logarithmically spaced vector of n points from lo to hi inclusive.
+/// Requires lo > 0 and hi > 0.
+[[nodiscard]] std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Combine independent noise/distortion contributions expressed in dBc into a
+/// single dBc figure (power sum). Example: sum_db_powers({-67.0, -70.0}).
+[[nodiscard]] double sum_db_powers(std::span<const double> levels_db);
+
+}  // namespace adc::common

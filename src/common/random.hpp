@@ -1,0 +1,53 @@
+/// \file random.hpp
+/// Deterministic random-number façade used by every stochastic model.
+///
+/// All Monte-Carlo behaviour in the library (mismatch draws, thermal noise,
+/// jitter, comparator noise) flows through `Rng` so that a single seed makes a
+/// whole converter instance reproducible. Independent sub-streams are derived
+/// with `child()`, which hash-splits the parent seed: two models never share a
+/// stream, so adding noise draws to one model does not perturb another.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace adc::common {
+
+/// Seeded random-number generator with named sub-stream derivation.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent child generator. The child seed is a hash of the
+  /// parent seed, the tag and the index, so `child("stage", 3)` is stable
+  /// across runs and distinct from `child("stage", 4)` and `child("cmp", 3)`.
+  [[nodiscard]] Rng child(std::string_view tag, std::uint64_t index = 0) const;
+
+  /// Standard-normal draw scaled by `sigma` (mean zero).
+  double gaussian(double sigma);
+
+  /// Uniform draw in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n);
+
+  /// A vector of n independent gaussian(sigma) draws.
+  [[nodiscard]] std::vector<double> gaussian_vector(std::size_t n, double sigma);
+
+  /// The seed this generator was constructed with.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace adc::common

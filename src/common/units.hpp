@@ -1,0 +1,64 @@
+/// \file units.hpp
+/// User-defined literals for the physical units that appear in the models.
+///
+/// All quantities in the library are plain `double` in SI base units
+/// (volts, amperes, seconds, hertz, farads, ohms, watts, square metres).
+/// These literals exist so that configuration code reads like a datasheet:
+///
+///     cfg.sampling_cap   = 550.0_fF;
+///     cfg.conversion_rate = 110.0_MHz;
+///     cfg.jitter_rms      = 0.45_ps;
+#pragma once
+
+namespace adc::common::literals {
+
+// --- time ---
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fs(long double v) { return static_cast<double>(v) * 1e-15; }
+
+// --- frequency ---
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+/// Conversion-rate literal: mega-samples per second (equals MHz numerically).
+constexpr double operator""_MSps(long double v) { return static_cast<double>(v) * 1e6; }
+
+// --- voltage ---
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uV(long double v) { return static_cast<double>(v) * 1e-6; }
+
+// --- current ---
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+
+// --- capacitance ---
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_uF(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nF(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+
+// --- resistance ---
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+
+// --- power ---
+constexpr double operator""_W(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mW(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uW(long double v) { return static_cast<double>(v) * 1e-6; }
+
+// --- area ---
+constexpr double operator""_mm2(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_um2(long double v) { return static_cast<double>(v) * 1e-12; }
+
+}  // namespace adc::common::literals

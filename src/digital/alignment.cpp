@@ -1,0 +1,47 @@
+#include "digital/alignment.hpp"
+
+#include "common/error.hpp"
+
+namespace adc::digital {
+
+DelayAlignment::DelayAlignment(int num_stages) : num_stages_(num_stages) {
+  adc::common::require(num_stages >= 1, "DelayAlignment: need at least one stage");
+}
+
+int DelayAlignment::latency_cycles() const {
+  // All codes of sample n have resolved by half-clock 2n + S + 1; the
+  // corrected word is registered at the next full clock edge:
+  // ceil((S + 2) / 2) cycles after the sample.
+  return (num_stages_ + 2 + 1) / 2;
+}
+
+int DelayAlignment::register_bit_count() const {
+  // Stage i (1-based) passes through (S + 1 - i) half-clock registers of
+  // 2 bits each; the flash code needs none; the output word adds
+  // (S + 2) bits of final register.
+  int regs = 0;
+  for (int i = 1; i <= num_stages_; ++i) regs += 2 * (num_stages_ + 1 - i);
+  regs += num_stages_ + 2;
+  return regs;
+}
+
+std::optional<RawConversion> DelayAlignment::push(RawConversion raw) {
+  adc::common::require(static_cast<int>(raw.stage_codes.size()) == num_stages_,
+                       "DelayAlignment: stage-code count mismatch");
+  fifo_.push_back(std::move(raw));
+  if (static_cast<int>(fifo_.size()) <= latency_cycles()) return std::nullopt;
+  RawConversion out = std::move(fifo_.front());
+  fifo_.pop_front();
+  return out;
+}
+
+std::optional<RawConversion> DelayAlignment::flush() {
+  if (fifo_.empty()) return std::nullopt;
+  RawConversion out = std::move(fifo_.front());
+  fifo_.pop_front();
+  return out;
+}
+
+void DelayAlignment::reset() { fifo_.clear(); }
+
+}  // namespace adc::digital

@@ -1,0 +1,31 @@
+/// \file codes.hpp
+/// Raw digital codes produced by the pipeline's sub-converters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adc::digital {
+
+/// Output of one 1.5-bit stage's ADSC: -1, 0 or +1 (the three decisions of
+/// the two comparators at +/- V_REF/4). The "half bit" of redundancy lives in
+/// the overlap of adjacent stages' ranges.
+enum class StageCode : std::int8_t {
+  kMinus = -1,
+  kZero = 0,
+  kPlus = 1,
+};
+
+/// Numeric value of a stage code.
+[[nodiscard]] constexpr int value(StageCode c) { return static_cast<int>(c); }
+
+/// Output of the 2-bit back-end flash: 0..3.
+using FlashCode = std::uint8_t;
+
+/// The complete raw digital word for one sample before error correction.
+struct RawConversion {
+  std::vector<StageCode> stage_codes;  ///< one per 1.5-bit stage, MSB first
+  FlashCode flash_code = 0;            ///< 2-bit back end
+};
+
+}  // namespace adc::digital

@@ -1,0 +1,46 @@
+/// \file correction.hpp
+/// Redundancy (digital error correction) logic.
+///
+/// Each 1.5-bit stage resolves {-1, 0, +1} with a half bit of overlap; the
+/// correction logic combines ten stage codes and the 2-bit flash into the
+/// final 12-bit word by shift-and-add:
+///
+///     D = sum_i d_i * 2^(B - i)  +  flash,   B = number of stages + 1
+///
+/// offset so that the all-zero decision path lands at mid-scale. Because each
+/// d_i only carries weight 2^(B-i) while the stage residue spans the *full*
+/// next-stage range, an ADSC decision error of up to +/- V_REF/4 moves later
+/// codes in exactly the opposite direction and cancels — the property tests
+/// exercise this to the boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "digital/codes.hpp"
+
+namespace adc::digital {
+
+/// Combines raw stage codes into final output words.
+class ErrorCorrection {
+ public:
+  /// `num_stages` 1.5-bit stages followed by a `flash_bits`-bit flash.
+  /// Total resolution = num_stages + flash_bits.
+  ErrorCorrection(int num_stages, int flash_bits);
+
+  /// Total converter resolution in bits.
+  [[nodiscard]] int resolution_bits() const { return num_stages_ + flash_bits_; }
+
+  /// Apply shift-and-add correction. The result is clamped into
+  /// [0, 2^bits - 1] (out-of-range decision paths saturate, as the hardware
+  /// adder does).
+  [[nodiscard]] int correct(const RawConversion& raw) const;
+
+  /// Mid-scale output code (all stage decisions zero, flash at half).
+  [[nodiscard]] int mid_code() const;
+
+ private:
+  int num_stages_;
+  int flash_bits_;
+};
+
+}  // namespace adc::digital

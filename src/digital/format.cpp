@@ -1,0 +1,28 @@
+#include "digital/format.hpp"
+
+#include "common/error.hpp"
+
+namespace adc::digital {
+
+int twos_complement_from_offset_binary(int code, int bits) {
+  adc::common::require(bits >= 1 && bits <= 30, "format: unreasonable bit count");
+  adc::common::require(code >= 0 && code < (1 << bits), "format: code out of range");
+  return code - (1 << (bits - 1));
+}
+
+int offset_binary_from_twos_complement(int value, int bits) {
+  adc::common::require(bits >= 1 && bits <= 30, "format: unreasonable bit count");
+  const int half = 1 << (bits - 1);
+  adc::common::require(value >= -half && value < half, "format: value out of range");
+  return value + half;
+}
+
+std::uint32_t gray_from_binary(std::uint32_t code) { return code ^ (code >> 1); }
+
+std::uint32_t binary_from_gray(std::uint32_t gray) {
+  std::uint32_t code = gray;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) code ^= code >> shift;
+  return code;
+}
+
+}  // namespace adc::digital

@@ -1,0 +1,25 @@
+/// \file format.hpp
+/// Output-word formats of the converter IP block.
+///
+/// The natural output of the correction adder is straight (offset) binary.
+/// SoC integrators commonly want two's complement; both conversions plus
+/// gray coding (for clock-domain-crossing FIFOs) are provided.
+#pragma once
+
+#include <cstdint>
+
+namespace adc::digital {
+
+/// Offset-binary code (0..2^bits-1) to two's complement (-2^(bits-1)..2^(bits-1)-1).
+[[nodiscard]] int twos_complement_from_offset_binary(int code, int bits);
+
+/// Two's complement back to offset binary.
+[[nodiscard]] int offset_binary_from_twos_complement(int value, int bits);
+
+/// Binary to gray code.
+[[nodiscard]] std::uint32_t gray_from_binary(std::uint32_t code);
+
+/// Gray code back to binary.
+[[nodiscard]] std::uint32_t binary_from_gray(std::uint32_t gray);
+
+}  // namespace adc::digital

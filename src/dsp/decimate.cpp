@@ -1,0 +1,74 @@
+#include "dsp/decimate.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace adc::dsp {
+
+std::vector<double> design_lowpass_fir(double cutoff_norm, std::size_t taps) {
+  adc::common::require(cutoff_norm > 0.0 && cutoff_norm < 0.5,
+                       "design_lowpass_fir: cutoff outside (0, 0.5)");
+  adc::common::require(taps >= 5 && taps % 2 == 1,
+                       "design_lowpass_fir: need an odd tap count >= 5");
+  const auto m = static_cast<double>(taps - 1);
+  std::vector<double> h(taps);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < taps; ++k) {
+    const double x = static_cast<double>(k) - m / 2.0;
+    // Ideal low-pass impulse response...
+    const double sinc = x == 0.0 ? 2.0 * cutoff_norm
+                                 : std::sin(2.0 * std::numbers::pi * cutoff_norm * x) /
+                                       (std::numbers::pi * x);
+    // ...shaped by a Blackman window (-74 dB sidelobes).
+    const double w = 0.42 -
+                     0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(k) / m) +
+                     0.08 * std::cos(4.0 * std::numbers::pi * static_cast<double>(k) / m);
+    h[k] = sinc * w;
+    sum += h[k];
+  }
+  // Unity DC gain.
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+double fir_magnitude(std::span<const double> taps, double f_norm) {
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t k = 0; k < taps.size(); ++k) {
+    const double phase = -2.0 * std::numbers::pi * f_norm * static_cast<double>(k);
+    re += taps[k] * std::cos(phase);
+    im += taps[k] * std::sin(phase);
+  }
+  return std::sqrt(re * re + im * im);
+}
+
+std::vector<double> decimate(std::span<const double> x, std::span<const double> fir,
+                             std::size_t factor) {
+  adc::common::require(factor >= 1, "decimate: factor must be >= 1");
+  adc::common::require(!fir.empty(), "decimate: empty filter");
+  adc::common::require(x.size() > fir.size(), "decimate: record shorter than the filter");
+  std::vector<double> out;
+  out.reserve((x.size() - fir.size()) / factor + 1);
+  for (std::size_t start = 0; start + fir.size() <= x.size(); start += factor) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < fir.size(); ++k) acc += fir[k] * x[start + k];
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<double> decimate_by(std::span<const double> x, std::size_t factor,
+                                std::size_t taps_per_phase) {
+  adc::common::require(factor >= 2, "decimate_by: factor must be >= 2");
+  adc::common::require(taps_per_phase >= 4, "decimate_by: too few taps per phase");
+  std::size_t taps = factor * taps_per_phase + 1;
+  if (taps % 2 == 0) ++taps;
+  // Cut off at 80 % of the post-decimation Nyquist: full rejection of the
+  // aliasing bands with a modest transition.
+  const auto fir = design_lowpass_fir(0.4 / static_cast<double>(factor), taps);
+  return decimate(x, fir, factor);
+}
+
+}  // namespace adc::dsp

@@ -1,0 +1,76 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace adc::dsp {
+
+namespace {
+
+/// Bit-reversal permutation for radix-2 decimation-in-time.
+void bit_reverse(std::vector<Complex>& a) {
+  const std::size_t n = a.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+void transform(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  adc::common::require(adc::common::is_power_of_two(n), "fft: length must be a power of two");
+  bit_reverse(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_in_place(std::vector<Complex>& data) { transform(data, /*inverse=*/false); }
+
+void ifft_in_place(std::vector<Complex>& data) {
+  transform(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= inv_n;
+}
+
+std::vector<Complex> fft_real(std::span<const double> x) {
+  std::vector<Complex> data(x.begin(), x.end());
+  fft_in_place(data);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> x) {
+  const std::size_t n = x.size();
+  auto spec = fft_real(x);
+  const std::size_t half = n / 2;
+  std::vector<double> power(half + 1);
+  const double norm = 1.0 / (static_cast<double>(n) * static_cast<double>(n));
+  for (std::size_t k = 0; k <= half; ++k) {
+    const double mag2 = std::norm(spec[k]) * norm;
+    // Fold the negative-frequency half into bins 1..n/2-1; DC and Nyquist
+    // have no mirror.
+    power[k] = (k == 0 || k == half) ? mag2 : 2.0 * mag2;
+  }
+  return power;
+}
+
+}  // namespace adc::dsp

@@ -1,0 +1,35 @@
+/// \file fft.hpp
+/// Radix-2 iterative FFT, implemented from scratch for the measurement bench.
+///
+/// The spectral tests in the paper (Figs. 5, 6 and the Table I dynamic
+/// metrics) are single-tone coherent captures; a power-of-two radix-2
+/// transform with double precision is exactly what an ADC characterization
+/// bench uses. Forward transform is unnormalized; the inverse divides by N so
+/// that ifft(fft(x)) == x.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace adc::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT. `data.size()` must be a power of two (>= 1).
+void fft_in_place(std::vector<Complex>& data);
+
+/// In-place inverse FFT (normalized by 1/N).
+void ifft_in_place(std::vector<Complex>& data);
+
+/// Forward FFT of a real sequence. Returns the full complex spectrum of
+/// length n (power of two required).
+[[nodiscard]] std::vector<Complex> fft_real(std::span<const double> x);
+
+/// One-sided magnitude-squared spectrum of a real sequence: bins 0..n/2
+/// inclusive. Bin k holds |X_k|^2 * (k in {0, n/2} ? 1 : 2) / n^2, i.e. the
+/// power of the corresponding real sinusoid so that a full-scale coherent
+/// tone of amplitude A lands at A^2/2 regardless of n.
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> x);
+
+}  // namespace adc::dsp

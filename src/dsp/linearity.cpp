@@ -1,0 +1,146 @@
+#include "dsp/linearity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace adc::dsp {
+
+using adc::common::MeasurementError;
+using adc::common::require;
+
+namespace {
+
+/// Endpoint-corrected INL from DNL: integrate, then remove the straight line
+/// through the first and last defined code so gain/offset errors drop out
+/// (the paper's INL convention).
+void finalize(LinearityResult& r) {
+  const std::size_t ncodes = r.dnl.size();
+  r.inl.assign(ncodes, 0.0);
+  double acc = 0.0;
+  for (std::size_t k = 1; k + 1 < ncodes; ++k) {
+    acc += r.dnl[k];
+    r.inl[k] = acc;
+  }
+  // Endpoint correction over the interior codes.
+  const std::size_t first = 1;
+  const std::size_t last = ncodes >= 3 ? ncodes - 2 : 1;
+  const double i0 = r.inl[first];
+  const double i1 = r.inl[last];
+  const double denom = static_cast<double>(last - first);
+  for (std::size_t k = first; k <= last; ++k) {
+    const double frac = denom > 0.0 ? static_cast<double>(k - first) / denom : 0.0;
+    r.inl[k] -= i0 + (i1 - i0) * frac;
+  }
+
+  r.dnl_min = 0.0;
+  r.dnl_max = 0.0;
+  r.inl_min = 0.0;
+  r.inl_max = 0.0;
+  for (std::size_t k = first; k <= last; ++k) {
+    r.dnl_min = std::min(r.dnl_min, r.dnl[k]);
+    r.dnl_max = std::max(r.dnl_max, r.dnl[k]);
+    r.inl_min = std::min(r.inl_min, r.inl[k]);
+    r.inl_max = std::max(r.inl_max, r.inl[k]);
+    if (r.dnl[k] <= -0.999) r.missing_codes.push_back(static_cast<int>(k));
+  }
+}
+
+}  // namespace
+
+LinearityResult histogram_linearity(std::span<const int> codes, int bits) {
+  require(bits >= 2 && bits <= 20, "histogram_linearity: unreasonable resolution");
+  require(!codes.empty(), "histogram_linearity: empty record");
+  const auto ncodes = static_cast<std::size_t>(1) << bits;
+
+  std::vector<double> hist(ncodes, 0.0);
+  for (int c : codes) {
+    require(c >= 0 && static_cast<std::size_t>(c) < ncodes,
+            "histogram_linearity: code out of range");
+    hist[static_cast<std::size_t>(c)] += 1.0;
+  }
+  if (hist.front() == 0.0 || hist.back() == 0.0) {
+    throw MeasurementError(
+        "histogram_linearity: end codes never hit; sine must overdrive the full scale");
+  }
+
+  // Estimate the sine amplitude/offset from the clipped end-bin populations:
+  // for a sine of amplitude A (in units of the converter range R centred on
+  // the range), the fraction of samples below the first transition level is
+  // p0 = hist[0]/N. The transition level is then t0 = -A*cos(pi*p0) with the
+  // range mapped to [-1, 1]. Standard code-density identities follow.
+  const auto total = static_cast<double>(codes.size());
+  const double p_low = hist.front() / total;
+  const double p_high = hist.back() / total;
+  require(p_low > 0.0 && p_high > 0.0, "histogram_linearity: degenerate end bins");
+
+  // Cumulative histogram -> transition levels via the arcsine transform.
+  // v_k = -cos(pi * CDF_k); this removes the sine's nonuniform density.
+  std::vector<double> transitions(ncodes - 1, 0.0);
+  double cum = 0.0;
+  for (std::size_t k = 0; k + 1 < ncodes; ++k) {
+    cum += hist[k];
+    const double cdf = cum / total;
+    transitions[k] = -std::cos(std::numbers::pi * cdf);
+  }
+
+  // Code widths from consecutive transitions; average interior width = 1 LSB.
+  LinearityResult r;
+  r.bits = bits;
+  r.sample_count = codes.size();
+  r.dnl.assign(ncodes, 0.0);
+
+  double width_sum = 0.0;
+  std::size_t width_count = 0;
+  for (std::size_t k = 1; k + 1 < ncodes; ++k) {
+    const double w = transitions[k] - transitions[k - 1];
+    width_sum += w;
+    ++width_count;
+  }
+  require(width_count > 0 && width_sum > 0.0, "histogram_linearity: no interior codes");
+  const double lsb = width_sum / static_cast<double>(width_count);
+
+  for (std::size_t k = 1; k + 1 < ncodes; ++k) {
+    const double w = transitions[k] - transitions[k - 1];
+    r.dnl[k] = w / lsb - 1.0;
+  }
+  finalize(r);
+  return r;
+}
+
+LinearityResult edges_linearity(std::span<const double> edges, int bits) {
+  require(bits >= 2 && bits <= 20, "edges_linearity: unreasonable resolution");
+  const auto ncodes = static_cast<std::size_t>(1) << bits;
+  require(edges.size() == ncodes - 1, "edges_linearity: need 2^bits - 1 edges");
+
+  LinearityResult r;
+  r.bits = bits;
+  r.sample_count = edges.size();
+  r.dnl.assign(ncodes, 0.0);
+
+  double width_sum = 0.0;
+  std::size_t width_count = 0;
+  for (std::size_t k = 1; k + 1 < ncodes; ++k) {
+    width_sum += edges[k] - edges[k - 1];
+    ++width_count;
+  }
+  require(width_count > 0 && width_sum > 0.0, "edges_linearity: non-increasing edges");
+  const double lsb = width_sum / static_cast<double>(width_count);
+
+  for (std::size_t k = 1; k + 1 < ncodes; ++k) {
+    r.dnl[k] = (edges[k] - edges[k - 1]) / lsb - 1.0;
+  }
+  finalize(r);
+  return r;
+}
+
+bool is_monotonic(std::span<const int> codes_from_ramp) {
+  for (std::size_t i = 1; i < codes_from_ramp.size(); ++i) {
+    if (codes_from_ramp[i] < codes_from_ramp[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace adc::dsp

@@ -1,0 +1,83 @@
+#include "dsp/signal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace adc::dsp {
+
+namespace {
+constexpr double two_pi = 2.0 * std::numbers::pi;
+}
+
+SineSignal::SineSignal(double amplitude, double frequency_hz, double phase_rad,
+                       double offset)
+    : amplitude_(amplitude), frequency_(frequency_hz), phase_(phase_rad), offset_(offset) {
+  adc::common::require(frequency_hz >= 0.0, "SineSignal: negative frequency");
+}
+
+double SineSignal::value(double t) const {
+  return offset_ + amplitude_ * std::sin(two_pi * frequency_ * t + phase_);
+}
+
+double SineSignal::slope(double t) const {
+  return amplitude_ * two_pi * frequency_ * std::cos(two_pi * frequency_ * t + phase_);
+}
+
+MultiToneSignal::MultiToneSignal(std::vector<Tone> tones) : tones_(std::move(tones)) {
+  adc::common::require(!tones_.empty(), "MultiToneSignal: no tones");
+}
+
+double MultiToneSignal::value(double t) const {
+  double v = 0.0;
+  for (const auto& tone : tones_) {
+    v += tone.amplitude * std::sin(two_pi * tone.frequency_hz * t + tone.phase_rad);
+  }
+  return v;
+}
+
+double MultiToneSignal::slope(double t) const {
+  double v = 0.0;
+  for (const auto& tone : tones_) {
+    v += tone.amplitude * two_pi * tone.frequency_hz *
+         std::cos(two_pi * tone.frequency_hz * t + tone.phase_rad);
+  }
+  return v;
+}
+
+RampSignal::RampSignal(double start, double stop, double duration_s)
+    : start_(start), stop_(stop), duration_(duration_s) {
+  adc::common::require(duration_s > 0.0, "RampSignal: non-positive duration");
+}
+
+double RampSignal::value(double t) const {
+  if (t <= 0.0) return start_;
+  if (t >= duration_) return stop_;
+  return start_ + (stop_ - start_) * (t / duration_);
+}
+
+double RampSignal::slope(double t) const {
+  if (t <= 0.0 || t >= duration_) return 0.0;
+  return (stop_ - start_) / duration_;
+}
+
+CoherentTone coherent_frequency(double target_hz, double fs, std::size_t n) {
+  adc::common::require(n >= 4, "coherent_frequency: record too short");
+  adc::common::require(target_hz > 0.0 && target_hz < fs / 2.0,
+                       "coherent_frequency: target outside (0, fs/2)");
+  const double bin = fs / static_cast<double>(n);
+  auto m = static_cast<std::size_t>(std::llround(target_hz / bin));
+  if (m < 1) m = 1;
+  if (m % 2 == 0) {
+    // Prefer the odd neighbour closest to the target.
+    const double lo_err = std::abs(static_cast<double>(m - 1) * bin - target_hz);
+    const double hi_err = std::abs(static_cast<double>(m + 1) * bin - target_hz);
+    m = (m + 1 < n / 2 && hi_err <= lo_err) ? m + 1 : m - 1;
+    if (m < 1) m = 1;
+  }
+  if (m >= n / 2) m = n / 2 - 1;
+  return {static_cast<double>(m) * bin, m};
+}
+
+}  // namespace adc::dsp

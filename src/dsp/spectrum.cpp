@@ -1,0 +1,216 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "dsp/fft.hpp"
+
+namespace adc::dsp {
+
+using adc::common::MeasurementError;
+using adc::common::require;
+
+double alias_frequency(double f, double fs) {
+  double r = std::fmod(std::abs(f), fs);
+  if (r > fs / 2.0) r = fs - r;
+  return r;
+}
+
+std::vector<double> codes_to_volts(std::span<const int> codes, int bits, double full_scale_vpp) {
+  require(bits >= 1 && bits <= 24, "codes_to_volts: unreasonable bit count");
+  const double levels = std::pow(2.0, bits);
+  const double lsb = full_scale_vpp / levels;
+  const double mid = (levels - 1.0) / 2.0;
+  std::vector<double> volts(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    volts[i] = (static_cast<double>(codes[i]) - mid) * lsb;
+  }
+  return volts;
+}
+
+namespace {
+
+/// Integrate the power of a tone whose centre bin is `bin`, spreading over
+/// +/- span bins (window leakage). Bins are clamped to [0, n/2].
+double integrate_group(const std::vector<double>& ps, std::size_t bin, std::size_t span) {
+  const std::size_t half = ps.size() - 1;
+  const std::size_t lo = bin > span ? bin - span : 0;
+  const std::size_t hi = std::min(half, bin + span);
+  double p = 0.0;
+  for (std::size_t k = lo; k <= hi; ++k) p += ps[k];
+  return p;
+}
+
+/// Mark the bins belonging to a tone group as used.
+void mark_group(std::set<std::size_t>& used, std::size_t bin, std::size_t span, std::size_t half) {
+  const std::size_t lo = bin > span ? bin - span : 0;
+  const std::size_t hi = std::min(half, bin + span);
+  for (std::size_t k = lo; k <= hi; ++k) used.insert(k);
+}
+
+}  // namespace
+
+namespace {
+
+/// Metrics from an already-computed one-sided power spectrum (possibly an
+/// average of several records). `ng` is the window's noise gain.
+SpectrumMetrics analyze_power_spectrum(const std::vector<double>& ps, std::size_t n,
+                                       double sample_rate_hz, double ng,
+                                       const SpectrumOptions& options);
+
+}  // namespace
+
+SpectrumMetrics analyze_tone(std::span<const double> samples, double sample_rate_hz,
+                             const SpectrumOptions& options) {
+  require(samples.size() >= 16, "analyze_tone: record too short");
+  require(adc::common::is_power_of_two(samples.size()),
+          "analyze_tone: record length must be a power of two");
+  require(sample_rate_hz > 0.0, "analyze_tone: non-positive sample rate");
+
+  const std::size_t n = samples.size();
+  // Window, then FFT. Integrated tone-group power is corrected by the noise
+  // gain (Parseval: the windowed tone's total spectral power is
+  // P_tone * sum(w^2)/n, independent of where the tone sits between bins).
+  // Noise corrects by the same factor, so all ratios are consistent.
+  const auto window = make_window(options.window, n);
+  const double ng = noise_gain(window);
+  std::vector<double> data(samples.begin(), samples.end());
+  apply_window(data, window);
+  return analyze_power_spectrum(power_spectrum(data), n, sample_rate_hz, ng, options);
+}
+
+SpectrumMetrics analyze_tone_averaged(const std::vector<std::vector<double>>& records,
+                                      double sample_rate_hz, const SpectrumOptions& options) {
+  require(!records.empty(), "analyze_tone_averaged: no records");
+  const std::size_t n = records.front().size();
+  require(n >= 16 && adc::common::is_power_of_two(n),
+          "analyze_tone_averaged: record length must be a power of two >= 16");
+  const auto window = make_window(options.window, n);
+  const double ng = noise_gain(window);
+  std::vector<double> avg(n / 2 + 1, 0.0);
+  for (const auto& record : records) {
+    require(record.size() == n, "analyze_tone_averaged: record lengths differ");
+    std::vector<double> data(record.begin(), record.end());
+    apply_window(data, window);
+    const auto ps = power_spectrum(data);
+    for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += ps[k];
+  }
+  const double inv = 1.0 / static_cast<double>(records.size());
+  for (auto& v : avg) v *= inv;
+  return analyze_power_spectrum(avg, n, sample_rate_hz, ng, options);
+}
+
+namespace {
+
+SpectrumMetrics analyze_power_spectrum(const std::vector<double>& ps_in, std::size_t n,
+                                       double sample_rate_hz, double ng,
+                                       const SpectrumOptions& options) {
+  const auto& ps = ps_in;
+  const std::size_t half = n / 2;
+  const double bin_hz = sample_rate_hz / static_cast<double>(n);
+
+  const std::size_t span = leakage_span_bins(options.window);
+  std::set<std::size_t> used;
+
+  // Exclude DC (and near-DC drift) from everything.
+  const std::size_t dc_hi = std::min(half, options.dc_span);
+  for (std::size_t k = 0; k <= dc_hi; ++k) used.insert(k);
+
+  // Locate the fundamental: forced bin or the largest non-DC peak.
+  std::size_t fbin = 0;
+  if (options.fundamental_bin) {
+    fbin = *options.fundamental_bin;
+    require(fbin > dc_hi && fbin < half, "analyze_tone: forced fundamental bin out of range");
+  } else {
+    double best = -1.0;
+    for (std::size_t k = dc_hi + 1; k < half; ++k) {
+      if (ps[k] > best) {
+        best = ps[k];
+        fbin = k;
+      }
+    }
+    if (best <= 0.0) throw MeasurementError("analyze_tone: no fundamental tone found");
+  }
+
+  SpectrumMetrics m;
+  m.sample_rate_hz = sample_rate_hz;
+  m.record_length = n;
+  m.fundamental_bin = fbin;
+  m.fundamental_freq_hz = static_cast<double>(fbin) * bin_hz;
+  m.signal_power = integrate_group(ps, fbin, span) / ng;
+  if (m.signal_power <= 0.0) throw MeasurementError("analyze_tone: zero signal power");
+  m.signal_amplitude = std::sqrt(2.0 * m.signal_power);
+  mark_group(used, fbin, span, half);
+
+  // Harmonics 2..max_harmonic, folded into the first Nyquist zone. For
+  // undersampled captures the harmonic grid follows the true tone frequency,
+  // not the folded fundamental.
+  const double harmonic_base = options.harmonic_base_hz.value_or(m.fundamental_freq_hz);
+  for (int h = 2; h <= options.max_harmonic; ++h) {
+    const double fh = alias_frequency(static_cast<double>(h) * harmonic_base,
+                                      sample_rate_hz);
+    const auto hbin = static_cast<std::size_t>(std::llround(fh / bin_hz));
+    if (hbin <= dc_hi || hbin >= half) continue;  // folded onto DC/Nyquist: skip
+    if (used.count(hbin) > 0 && hbin == fbin) continue;
+    HarmonicInfo info;
+    info.order = h;
+    info.bin = hbin;
+    info.frequency_hz = fh;
+    info.power = integrate_group(ps, hbin, span) / ng;
+    info.dbc = adc::common::db_from_power_ratio(std::max(info.power, 1e-30) / m.signal_power);
+    // A harmonic can alias onto another harmonic's bin; only count the power
+    // once in THD.
+    if (used.count(hbin) == 0) m.thd_power += info.power;
+    mark_group(used, hbin, span, half);
+    m.harmonics.push_back(info);
+  }
+
+  // Noise: everything not yet claimed.
+  double noise = 0.0;
+  for (std::size_t k = 0; k <= half; ++k) {
+    if (used.count(k) == 0) noise += ps[k];
+  }
+  m.noise_power = noise / ng;
+
+  // SFDR spur: the largest single tone group other than the fundamental,
+  // searched over all bins (harmonic or not), DC excluded.
+  double spur_best = -1.0;
+  std::size_t spur_bin = 0;
+  for (std::size_t k = dc_hi + 1; k < half; ++k) {
+    const std::size_t flo = fbin > span ? fbin - span : 0;
+    const std::size_t fhi = fbin + span;
+    if (k >= flo && k <= fhi) continue;
+    if (ps[k] > spur_best) {
+      spur_best = ps[k];
+      spur_bin = k;
+    }
+  }
+  if (spur_best >= 0.0) {
+    m.spur_bin = spur_bin;
+    m.spur_freq_hz = static_cast<double>(spur_bin) * bin_hz;
+    m.spur_power = integrate_group(ps, spur_bin, span) / ng;
+    for (const auto& h : m.harmonics) {
+      const auto delta = h.bin > spur_bin ? h.bin - spur_bin : spur_bin - h.bin;
+      if (delta <= span) {
+        m.spur_harmonic_order = h.order;
+        break;
+      }
+    }
+  }
+
+  const double eps = 1e-30;
+  m.snr_db = adc::common::db_from_power_ratio(m.signal_power / std::max(m.noise_power, eps));
+  m.sndr_db = adc::common::db_from_power_ratio(m.signal_power /
+                                               std::max(m.noise_power + m.thd_power, eps));
+  m.thd_db = adc::common::db_from_power_ratio(std::max(m.thd_power, eps) / m.signal_power);
+  m.sfdr_db = adc::common::db_from_power_ratio(m.signal_power / std::max(m.spur_power, eps));
+  m.enob = adc::common::enob_from_sndr_db(m.sndr_db);
+  return m;
+}
+
+}  // namespace
+
+}  // namespace adc::dsp

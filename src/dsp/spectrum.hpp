@@ -1,0 +1,101 @@
+/// \file spectrum.hpp
+/// Single-tone spectral metrics: SNR, SNDR, THD, SFDR, ENOB.
+///
+/// This mirrors the dynamic characterization bench of the paper: capture a
+/// record of converter output while a filtered sine is applied, FFT it, and
+/// integrate signal, harmonic and noise power. All conventions follow IEEE
+/// Std 1241 (single-tone sine-wave testing of ADCs):
+///   SNR  = P_signal / P_noise               (harmonics excluded from noise)
+///   SNDR = P_signal / (P_noise + P_harmonics + P_spurs)
+///   THD  = P_harmonics(2..H) / P_signal
+///   SFDR = P_signal / P_largest_spur        (harmonic or not)
+///   ENOB = (SNDR_dB - 1.76) / 6.02
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace adc::dsp {
+
+/// Options for `analyze_tone`.
+struct SpectrumOptions {
+  /// Window applied before the FFT. Coherent captures use rectangular.
+  WindowType window = WindowType::kRectangular;
+  /// Highest harmonic order included in THD (2..max_harmonic).
+  int max_harmonic = 10;
+  /// Bins 0..dc_span excluded from all power integrals (DC and offset drift).
+  std::size_t dc_span = 3;
+  /// Force the fundamental to a known bin instead of peak-searching.
+  std::optional<std::size_t> fundamental_bin;
+  /// True (pre-aliasing) tone frequency [Hz] for undersampled captures:
+  /// harmonic h is then looked up at alias(h * harmonic_base_hz) instead of
+  /// h times the folded fundamental.
+  std::optional<double> harmonic_base_hz;
+};
+
+/// One harmonic of the fundamental, folded into the first Nyquist zone.
+struct HarmonicInfo {
+  int order = 0;            ///< 2 for HD2, 3 for HD3, ...
+  std::size_t bin = 0;      ///< centre bin after aliasing
+  double frequency_hz = 0;  ///< folded frequency
+  double power = 0.0;       ///< integrated power [V^2]
+  double dbc = 0.0;         ///< level relative to the fundamental [dBc]
+};
+
+/// Full result of a single-tone spectral measurement.
+struct SpectrumMetrics {
+  double sample_rate_hz = 0.0;
+  std::size_t record_length = 0;
+
+  std::size_t fundamental_bin = 0;
+  double fundamental_freq_hz = 0.0;
+  double signal_power = 0.0;      ///< [V^2]
+  double signal_amplitude = 0.0;  ///< [V peak]
+
+  double noise_power = 0.0;  ///< non-harmonic, non-DC [V^2]
+  double thd_power = 0.0;    ///< harmonics 2..max_harmonic [V^2]
+
+  double snr_db = 0.0;
+  double sndr_db = 0.0;
+  double thd_db = 0.0;   ///< dBc (negative for real converters)
+  double sfdr_db = 0.0;  ///< dB below the fundamental
+  double enob = 0.0;
+
+  /// The spur that sets SFDR.
+  std::size_t spur_bin = 0;
+  double spur_freq_hz = 0.0;
+  double spur_power = 0.0;
+  /// Harmonic order of the SFDR spur, or 0 if it is not one of the tracked
+  /// harmonics.
+  int spur_harmonic_order = 0;
+
+  std::vector<HarmonicInfo> harmonics;
+};
+
+/// Analyze a single-tone record. `samples` is the converter output expressed
+/// in volts (or any consistent unit); length must be a power of two >= 16.
+/// Throws MeasurementError when no fundamental can be identified.
+[[nodiscard]] SpectrumMetrics analyze_tone(std::span<const double> samples, double sample_rate_hz,
+                                           const SpectrumOptions& options = {});
+
+/// Analyze multiple records of the same tone by averaging their *power
+/// spectra* before reading the metrics (the bench technique for tightening
+/// the noise/spur estimates; expectation values are unchanged). All records
+/// must share one length.
+[[nodiscard]] SpectrumMetrics analyze_tone_averaged(
+    const std::vector<std::vector<double>>& records, double sample_rate_hz,
+    const SpectrumOptions& options = {});
+
+/// Fold frequency `f` into the first Nyquist zone [0, fs/2].
+[[nodiscard]] double alias_frequency(double f, double fs);
+
+/// Convert an ADC code record (integers stored as double, or raw codes) into
+/// volts around mid-scale: v = (code - (2^bits-1)/2) * lsb.
+[[nodiscard]] std::vector<double> codes_to_volts(std::span<const int> codes, int bits,
+                                                 double full_scale_vpp);
+
+}  // namespace adc::dsp

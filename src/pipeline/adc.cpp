@@ -1,0 +1,325 @@
+#include "pipeline/adc.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace adc::pipeline {
+
+using adc::common::require;
+
+NonIdealities NonIdealities::all_off() {
+  NonIdealities f;
+  f.thermal_noise = false;
+  f.aperture_jitter = false;
+  f.capacitor_mismatch = false;
+  f.comparator_imperfections = false;
+  f.finite_opamp_gain = false;
+  f.incomplete_settling = false;
+  f.tracking_nonlinearity = false;
+  f.hold_leakage = false;
+  f.reference_imperfections = false;
+  f.bias_ripple = false;
+  return f;
+}
+
+AdcConfig PipelineAdc::normalize(AdcConfig c) {
+  require(c.num_stages >= 1, "AdcConfig: need at least one stage");
+  require(c.flash_bits >= 1 && c.flash_bits <= 4, "AdcConfig: flash must be 1..4 bits");
+  require(c.full_scale_vpp > 0.0, "AdcConfig: non-positive full scale");
+  require(c.conversion_rate > 0.0, "AdcConfig: non-positive conversion rate");
+  require(c.mirror_master_gain > 0.0, "AdcConfig: non-positive mirror gain");
+
+  // The sampling clock always runs at the conversion rate.
+  c.clock.frequency_hz = c.conversion_rate;
+
+  // --- environment (PVT) physics ---
+  require(c.temperature_k > 100.0 && c.temperature_k < 500.0,
+          "AdcConfig: junction temperature outside the model's validity");
+  const double t_ratio = c.temperature_k / 300.0;
+  // Sampled-noise power is kT/C: fold the temperature into the excess factor.
+  c.stage.noise_excess *= t_ratio;
+  // Junction leakage doubles every ~12 K.
+  c.stage.leakage.i0 *= std::pow(2.0, (c.temperature_k - 300.0) / 12.0);
+  // Carrier mobility falls ~T^-1.5: gm, hence GBW and slew, degrade.
+  const double mobility = std::pow(t_ratio, -1.5);
+  c.stage.opamp.gbw_hz *= mobility;
+  c.stage.opamp.slew_rate *= mobility;
+
+  const NonIdealities& e = c.enable;
+  if (!e.thermal_noise) c.stage.noise_excess = 0.0;
+  if (!e.aperture_jitter) c.clock.jitter_rms_s = 0.0;
+  if (!e.capacitor_mismatch) {
+    c.stage.c1.sigma_mismatch = 0.0;
+    c.stage.c2.sigma_mismatch = 0.0;
+    c.sc_bias.cb.sigma_mismatch = 0.0;
+    c.mirror_sigma = 0.0;
+    c.stage1_dac_skew = 0.0;
+  }
+  if (!e.comparator_imperfections) {
+    for (auto* spec : {&c.stage.adsc_comparator, &c.flash_comparator}) {
+      spec->sigma_offset = 0.0;
+      spec->noise_rms = 0.0;
+      spec->metastable_window = 0.0;
+    }
+  }
+  if (!e.finite_opamp_gain) c.stage.opamp.dc_gain = 1e12;
+  if (!e.incomplete_settling) c.stage.opamp.gm_compression = 0.0;
+  if (!e.hold_leakage) c.stage.leakage.i0 = 0.0;
+  if (!e.reference_imperfections) {
+    c.refs.sigma_level = 0.0;
+    c.refs.charge_per_event = 0.0;
+    c.bandgap.sigma_process = 0.0;
+    c.bandgap.curvature = 0.0;
+    c.bandgap.supply_sensitivity = 0.0;
+  }
+  if (!e.bias_ripple) c.sc_bias.ripple_sigma = 0.0;
+  return c;
+}
+
+namespace {
+
+adc::analog::RefBufferSpec couple_refs_to_bandgap(adc::analog::RefBufferSpec refs,
+                                                  const adc::analog::Bandgap& bandgap,
+                                                  double t_kelvin, double vdd) {
+  // The reference divider runs off the bandgap: its process spread and its
+  // (small) temperature/supply movement scale VREF proportionally (a pure
+  // gain error at the converter level).
+  refs.nominal_vref *= bandgap.output(t_kelvin, vdd) / bandgap.spec().nominal_output;
+  return refs;
+}
+
+std::unique_ptr<adc::bias::BiasSource> make_bias(const AdcConfig& c,
+                                                 const adc::analog::Bandgap& bandgap,
+                                                 adc::common::Rng& rng) {
+  if (c.bias_scheme == BiasScheme::kSwitchedCapacitor) {
+    adc::bias::ScBiasSpec spec = c.sc_bias;
+    // V_BIAS is derived from the bandgap; its spread tracks the bandgap's.
+    spec.v_bias *=
+        bandgap.output(c.temperature_k, c.vdd) / bandgap.spec().nominal_output;
+    auto bias_rng = rng.child("sc-bias");
+    return std::make_unique<adc::bias::ScBiasGenerator>(spec, bias_rng);
+  }
+  auto bias_rng = rng.child("fixed-bias");
+  return std::make_unique<adc::bias::FixedBiasGenerator>(c.fixed_bias, bias_rng);
+}
+
+std::vector<PipelineStage> make_stages(const AdcConfig& c, adc::common::Rng& rng) {
+  const double vref_nominal = c.full_scale_vpp / 2.0;
+  std::vector<PipelineStage> stages;
+  stages.reserve(static_cast<std::size_t>(c.num_stages));
+  for (int i = 0; i < c.num_stages; ++i) {
+    const double scale = c.scaling.factor(static_cast<std::size_t>(i));
+    StageSpec spec = c.stage;
+    if (i == 0) spec.c1.nominal_farad *= 1.0 + c.stage1_dac_skew;
+    stages.emplace_back(spec, scale, vref_nominal,
+                        rng.child("stage", static_cast<std::uint64_t>(i)));
+  }
+  return stages;
+}
+
+adc::bias::MirrorBankSpec mirror_spec(const AdcConfig& c) {
+  adc::bias::MirrorBankSpec spec;
+  spec.sigma_mismatch = c.mirror_sigma;
+  spec.ratios.reserve(static_cast<std::size_t>(c.num_stages));
+  for (int i = 0; i < c.num_stages; ++i) {
+    spec.ratios.push_back(c.mirror_master_gain * c.scaling.factor(static_cast<std::size_t>(i)));
+  }
+  return spec;
+}
+
+}  // namespace
+
+PipelineAdc::PipelineAdc(const AdcConfig& config)
+    : config_(normalize(config)),
+      rng_(config_.seed),
+      noise_rng_(rng_.child("conversion-noise")),
+      bandgap_([this] {
+        auto bg_rng = rng_.child("bandgap");
+        return adc::analog::Bandgap(config_.bandgap, bg_rng);
+      }()),
+      refs_([this] {
+        auto ref_rng = rng_.child("refs");
+        return adc::analog::ReferenceBuffer(
+            couple_refs_to_bandgap(config_.refs, bandgap_, config_.temperature_k,
+                                   config_.vdd),
+            ref_rng);
+      }()),
+      sampler_(config_.input_switch, config_.refs.common_mode,
+               config_.stage.c1.nominal_farad + config_.stage.c2.nominal_farad),
+      clock_([this] {
+        auto clk_rng = rng_.child("clock");
+        return adc::clocking::SamplingClock(config_.clock, clk_rng);
+      }()),
+      phases_(config_.phases),
+      bias_(make_bias(config_, bandgap_, rng_)),
+      mirrors_([this] {
+        auto mir_rng = rng_.child("mirrors");
+        return adc::bias::MirrorBank(mirror_spec(config_), mir_rng);
+      }()),
+      stages_(make_stages(config_, rng_)),
+      flash_(config_.flash_bits, config_.flash_comparator, config_.full_scale_vpp / 2.0,
+             rng_.child("flash")),
+      correction_(config_.num_stages, config_.flash_bits),
+      alignment_(config_.num_stages) {}
+
+double PipelineAdc::lsb() const {
+  return config_.full_scale_vpp / std::pow(2.0, resolution_bits());
+}
+
+int PipelineAdc::latency_cycles() const { return alignment_.latency_cycles(); }
+
+adc::clocking::PhaseWindows PipelineAdc::phase_windows() const {
+  return phases_.windows(config_.conversion_rate);
+}
+
+void PipelineAdc::reset_state() {
+  refs_.reset();
+  alignment_.reset();
+}
+
+adc::digital::RawConversion PipelineAdc::quantize_sample(double sampled) {
+  const auto w = phases_.windows(config_.conversion_rate);
+  const double settle_s = config_.enable.incomplete_settling ? w.settle_s : 1.0;
+  const double hold_s = w.hold_s;
+
+  // Master bias this conversion, including switching ripple when enabled.
+  double master = bias_->master_current(config_.conversion_rate);
+  if (config_.bias_scheme == BiasScheme::kSwitchedCapacitor &&
+      config_.sc_bias.ripple_sigma > 0.0) {
+    master *= 1.0 + noise_rng_.gaussian(config_.sc_bias.ripple_sigma);
+  }
+
+  const double vref = refs_.vref();
+
+  adc::digital::RawConversion raw;
+  raw.stage_codes.reserve(stages_.size());
+  double x = sampled;
+  double activity = 0.0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const double ibias = mirrors_.leg_current(i, master);
+    const auto r = stages_[i].process(x, vref, ibias, settle_s, hold_s, noise_rng_);
+    raw.stage_codes.push_back(r.code);
+    activity += std::abs(static_cast<double>(adc::digital::value(r.code)));
+    x = r.residue;
+  }
+  raw.flash_code = flash_.quantize(x, vref);
+
+  refs_.consume(activity, 1.0 / config_.conversion_rate);
+  return raw;
+}
+
+std::vector<int> PipelineAdc::convert(const adc::dsp::Signal& signal, std::size_t n) {
+  reset_state();
+  std::vector<int> codes;
+  codes.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = clock_.sample_instant(k);
+    const double v = signal.value(t);
+    double tracked = v;
+    if (config_.enable.tracking_nonlinearity) {
+      tracked += sampler_.tracking_error(v, signal.slope(t));
+      tracked += sampler_.charge_injection_error(v);
+    }
+    codes.push_back(correction_.correct(quantize_sample(tracked)));
+  }
+  return codes;
+}
+
+StreamResult PipelineAdc::convert_stream(const adc::dsp::Signal& signal, std::size_t n) {
+  reset_state();
+  StreamResult result;
+  result.latency_cycles = alignment_.latency_cycles();
+  result.codes.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = clock_.sample_instant(k);
+    const double v = signal.value(t);
+    double tracked = v;
+    if (config_.enable.tracking_nonlinearity) {
+      tracked += sampler_.tracking_error(v, signal.slope(t));
+      tracked += sampler_.charge_injection_error(v);
+    }
+    if (auto aligned = alignment_.push(quantize_sample(tracked))) {
+      result.codes.push_back(correction_.correct(*aligned));
+    }
+  }
+  while (auto aligned = alignment_.flush()) {
+    result.codes.push_back(correction_.correct(*aligned));
+    if (result.codes.size() >= n) break;
+  }
+  return result;
+}
+
+std::vector<int> PipelineAdc::convert_samples(std::span<const double> voltages) {
+  reset_state();
+  std::vector<int> codes;
+  codes.reserve(voltages.size());
+  for (double v : voltages) {
+    codes.push_back(correction_.correct(quantize_sample(front_end(v))));
+  }
+  return codes;
+}
+
+int PipelineAdc::convert_dc(double v_diff) {
+  return correction_.correct(quantize_sample(front_end(v_diff)));
+}
+
+adc::digital::RawConversion PipelineAdc::convert_dc_raw(double v_diff) {
+  return quantize_sample(front_end(v_diff));
+}
+
+std::vector<adc::digital::RawConversion> PipelineAdc::convert_raw(
+    const adc::dsp::Signal& signal, std::size_t n) {
+  reset_state();
+  std::vector<adc::digital::RawConversion> raws;
+  raws.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = clock_.sample_instant(k);
+    const double v = signal.value(t);
+    double tracked = v;
+    if (config_.enable.tracking_nonlinearity) {
+      tracked += sampler_.tracking_error(v, signal.slope(t));
+      tracked += sampler_.charge_injection_error(v);
+    }
+    raws.push_back(quantize_sample(tracked));
+  }
+  return raws;
+}
+
+double PipelineAdc::front_end(double v_diff) const {
+  // DC path through the sampling front end: charge injection applies (it is
+  // a static error); the tracking term vanishes at zero slope.
+  if (!config_.enable.tracking_nonlinearity) return v_diff;
+  return v_diff + sampler_.charge_injection_error(v_diff);
+}
+
+double PipelineAdc::residue_after_stage(std::size_t stage_index, double vin) const {
+  require(stage_index < stages_.size(), "residue_after_stage: index out of range");
+  const double vref_nominal = config_.full_scale_vpp / 2.0;
+  double x = vin;
+  for (std::size_t i = 0; i <= stage_index; ++i) {
+    const auto d = stages_[i].ideal_decision(x);
+    x = stages_[i].residue_target(x, d, vref_nominal);
+  }
+  return x;
+}
+
+double PipelineAdc::stage_bias_current(std::size_t i) const {
+  return mirrors_.leg_current(i, bias_->master_current(config_.conversion_rate));
+}
+
+double PipelineAdc::master_bias_current() const {
+  return bias_->master_current(config_.conversion_rate);
+}
+
+double PipelineAdc::pipeline_bias_current(double f_cr) const {
+  return mirrors_.total_current(bias_->master_current(f_cr));
+}
+
+double PipelineAdc::total_analog_current() const {
+  const double master = bias_->master_current(config_.conversion_rate);
+  return mirrors_.total_current(master) + bias_->overhead_current() +
+         refs_.spec().quiescent_current;
+}
+
+}  // namespace adc::pipeline

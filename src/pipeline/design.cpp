@@ -1,0 +1,140 @@
+#include "pipeline/design.hpp"
+
+namespace adc::pipeline {
+
+namespace {
+
+/// Nominal master-mirror output at the design point, fixed by eq. (1):
+/// I = K_mirror * C_B * f_CR * V_BIAS. The opamp parameters are specified at
+/// this current so that settling at 110 MS/s lands on the calibrated number
+/// of time constants.
+constexpr double kCb = 12e-12;          // the SC generator's capacitor [F]
+constexpr double kVbias = 0.6;          // V_BIAS from the bandgap [V]
+constexpr double kMirrorGain = 10.0;    // M0 -> stage-1 mirror ratio
+constexpr double kNominalRate = 110e6;  // design point [S/s]
+
+double stage1_nominal_bias() { return kMirrorGain * kCb * kNominalRate * kVbias; }
+
+}  // namespace
+
+AdcConfig nominal_design(std::uint64_t seed) {
+  AdcConfig c;
+  c.seed = seed;
+  c.num_stages = 10;
+  c.flash_bits = 2;
+  c.full_scale_vpp = 2.0;
+  c.vdd = 1.8;
+  c.conversion_rate = kNominalRate;
+  c.scaling = ScalingPolicy::paper();
+
+  // --- stage electrical design (stage-1 size) ---
+  // Sampling capacitance 2 x 275 fF per side (parasitic metal caps, paper
+  // Fig. 2). The mismatch sigma is the main static-linearity calibration
+  // knob (Table I: DNL +/-1.2 LSB, INL -1.5/+1 LSB, SFDR 69.4 dB).
+  c.stage.c1 = {275e-15, 0.0005, 0.0};
+  c.stage.c2 = {275e-15, 0.0005, 0.0};
+  c.stage.parasitic_input_cap = 100e-15;
+  c.stage1_dac_skew = 0.0007;
+
+  // Two-stage Miller opamp at the stage-1 bias current delivered by the SC
+  // generator at 110 MS/s. GBW calibrated for ~9 settling time constants in
+  // the local-sequential settling window at the design point.
+  c.stage.opamp.dc_gain = 20000.0;  // 86 dB
+  c.stage.opamp.gbw_hz = 850e6;
+  c.stage.opamp.slew_rate = 1.5e9;
+  c.stage.opamp.bias_nominal = stage1_nominal_bias();
+  c.stage.opamp.output_swing = 1.45;
+  c.stage.opamp.gm_compression = 0.08;
+
+  // ADSC comparators: generous offsets (redundancy absorbs them).
+  c.stage.adsc_comparator.sigma_offset = 12e-3;
+  c.stage.adsc_comparator.noise_rms = 0.4e-3;
+  c.stage.adsc_comparator.metastable_window = 2e-6;
+
+  // Hold-node leakage: sets the low-rate SFDR fall of Fig. 5.
+  c.stage.leakage.i0 = 0.8e-9;
+  c.stage.leakage.k_v = 0.9;
+  c.stage.leakage.sigma_mismatch = 0.10;
+  c.stage.leakage.u0 = 0.9;
+
+  // Thermal-noise excess over bare 2kT/C (switches + opamp + reference
+  // noise folded in); calibrated against Table I SNR = 67.1 dB.
+  c.stage.noise_excess = 1.35;
+
+  // Back-end flash comparators.
+  c.flash_comparator.sigma_offset = 15e-3;
+  c.flash_comparator.noise_rms = 0.5e-3;
+  c.flash_comparator.metastable_window = 2e-6;
+
+  // Un-bootstrapped, bulk-switched input transmission gates (paper sec. 3).
+  // Sizing calibrated against the Fig. 6 SFDR roll-off versus f_in.
+  c.input_switch.type = adc::analog::SwitchType::kBulkSwitchedTg;
+  c.input_switch.w_over_l_nmos = 60.0;
+  c.input_switch.w_over_l_pmos = 120.0;
+  c.input_switch.vdd = c.vdd;
+  c.input_switch.cj0 = 30e-15;
+  c.input_switch.injection_softening = 0.08;
+  c.input_switch.injection_fraction = 0.130;
+
+  // Aperture jitter: calibrated against the Fig. 6 SNR corner (~100 MHz).
+  c.clock.jitter_rms_s = 0.30e-12;
+
+  // The paper's clocking: non-overlap removed, local switch sequencing.
+  c.phases.scheme = adc::clocking::ClockingScheme::kLocalSequential;
+  c.phases.non_overlap_s = 700e-12;
+  c.phases.local_sequence_delay_s = 120e-12;
+  c.phases.phase_overhead_s = 150e-12;
+
+  // SC bias generator (eq. 1).
+  c.bias_scheme = BiasScheme::kSwitchedCapacitor;
+  c.sc_bias.cb = {kCb, 0.002, 0.0};
+  c.sc_bias.v_bias = kVbias;
+  c.sc_bias.ota_gain = 2000.0;
+  c.sc_bias.ripple_sigma = 0.002;
+  c.sc_bias.overhead_current = 150e-6;
+  c.mirror_master_gain = kMirrorGain;
+  c.mirror_sigma = 0.01;
+
+  // Conventional fixed generator (ablation A4): sized for the same design
+  // point but with worst-case margin.
+  c.fixed_bias.design_current = kCb * kNominalRate * kVbias;
+  c.fixed_bias.margin = 1.35;
+  c.fixed_bias.sigma_process = 0.10;
+  c.fixed_bias.overhead_current = 100e-6;
+
+  // References: bandgap-derived, buffered, decoupled off chip. The bandgap
+  // is production-trimmed: 0.15 % residual spread (an untrimmed 0.5 % shifts
+  // the full scale enough to clip a near-full-scale test tone).
+  c.bandgap.nominal_output = 1.20;
+  c.bandgap.sigma_process = 1.5e-3;
+  c.refs.nominal_vref = 1.0;  // differential VREFP - VREFN
+  c.refs.common_mode = 0.9;
+  c.refs.output_resistance = 2.0;
+  c.refs.decap_farad = 330e-9;
+  c.refs.charge_per_event = 0.05e-12;
+  c.refs.sigma_level = 1e-3;
+  c.refs.quiescent_current = 10e-3;
+
+  c.enable = NonIdealities::all_on();
+  return c;
+}
+
+AdcConfig ideal_design() {
+  AdcConfig c = nominal_design();
+  c.enable = NonIdealities::all_off();
+  return c;
+}
+
+adc::power::PowerSpec nominal_power_spec() {
+  adc::power::PowerSpec p;
+  p.bandgap_current = 0.4e-3;
+  p.cm_gen_current = 0.6e-3;
+  p.digital_switched_cap = 39e-12;
+  p.digital_static_current = 0.2e-3;
+  p.comparator_energy = 0.5e-12;
+  return p;
+}
+
+adc::power::AreaSpec nominal_area_spec() { return adc::power::AreaSpec{}; }
+
+}  // namespace adc::pipeline

@@ -1,0 +1,93 @@
+#include "pipeline/interleaved.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace adc::pipeline {
+
+namespace {
+
+/// A signal observed through a fixed time shift (the other lane's clock
+/// phase plus its skew).
+class ShiftedSignal final : public adc::dsp::Signal {
+ public:
+  ShiftedSignal(const adc::dsp::Signal& inner, double shift_s)
+      : inner_(inner), shift_(shift_s) {}
+  [[nodiscard]] double value(double t) const override { return inner_.value(t + shift_); }
+  [[nodiscard]] double slope(double t) const override { return inner_.slope(t + shift_); }
+
+ private:
+  const adc::dsp::Signal& inner_;
+  double shift_;
+};
+
+AdcConfig lane_config(AdcConfig base, std::uint64_t seed_offset) {
+  base.seed += seed_offset;
+  return base;
+}
+
+}  // namespace
+
+InterleavedAdc::InterleavedAdc(const AdcConfig& base, double timing_skew_s)
+    : lane_rate_(base.conversion_rate),
+      timing_skew_s_(timing_skew_s),
+      lane0_(lane_config(base, 0)),
+      lane1_(lane_config(base, 1)) {
+  adc::common::require(std::abs(timing_skew_s) < 0.25 / lane_rate_,
+                       "InterleavedAdc: skew beyond a quarter lane period");
+}
+
+std::vector<int> InterleavedAdc::convert(const adc::dsp::Signal& signal, std::size_t n) {
+  const double t_lane = 1.0 / lane_rate_;
+  const std::size_t m0 = (n + 1) / 2;
+  const std::size_t m1 = n / 2;
+
+  const auto codes0 = lane0_.convert(signal, m0);
+  const ShiftedSignal shifted(signal, 0.5 * t_lane + timing_skew_s_);
+  const auto codes1 = lane1_.convert(shifted, m1);
+
+  const double mid = std::pow(2.0, resolution_bits() - 1) - 0.5;
+  const double max_code = std::pow(2.0, resolution_bits()) - 1.0;
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k % 2 == 0) {
+      out.push_back(codes0[k / 2]);
+    } else {
+      // Lane-1 digital correction around mid-scale.
+      double v = static_cast<double>(codes1[k / 2]) - mid - correction_.offset_codes;
+      v = v * correction_.gain + mid;
+      v = std::round(v);
+      if (v < 0.0) v = 0.0;
+      if (v > max_code) v = max_code;
+      out.push_back(static_cast<int>(v));
+    }
+  }
+  return out;
+}
+
+LaneCorrection InterleavedAdc::calibrate_lanes(int averaging) {
+  adc::common::require(averaging >= 1, "calibrate_lanes: averaging must be >= 1");
+  const double probe = 0.45 * full_scale_vpp() / 2.0;
+
+  auto mean_code = [averaging](PipelineAdc& lane, double v) {
+    double acc = 0.0;
+    for (int r = 0; r < averaging; ++r) acc += lane.convert_dc(v);
+    return acc / averaging;
+  };
+
+  const double zero0 = mean_code(lane0_, 0.0);
+  const double zero1 = mean_code(lane1_, 0.0);
+  const double span0 = mean_code(lane0_, probe) - mean_code(lane0_, -probe);
+  const double span1 = mean_code(lane1_, probe) - mean_code(lane1_, -probe);
+  adc::common::require(span1 > 0.0, "calibrate_lanes: degenerate lane-1 span");
+
+  LaneCorrection c;
+  c.offset_codes = zero1 - zero0;
+  c.gain = span0 / span1;
+  correction_ = c;
+  return c;
+}
+
+}  // namespace adc::pipeline

@@ -1,0 +1,62 @@
+/// \file interleaved.hpp
+/// Time-interleaved operation of two converter dies.
+///
+/// The natural way to push the paper's IP block past its 140 MS/s ceiling is
+/// to ping-pong two of them — and the equally natural way to get burned by
+/// it: the two dies' offset, gain and timing differences modulate the signal
+/// at f_s/2 and produce the classic interleaving spurs at f_s/2 - f_in
+/// (gain/timing) and f_s/2 (offset). This wrapper interleaves two
+/// `PipelineAdc` instances sample-accurately and provides the digital
+/// offset/gain background correction that any real interleaved product
+/// ships, so the bench can show the spur with and without correction.
+#pragma once
+
+#include <cstdint>
+
+#include "pipeline/adc.hpp"
+
+namespace adc::pipeline {
+
+/// Per-lane digital correction coefficients.
+struct LaneCorrection {
+  double offset_codes = 0.0;  ///< subtracted from lane-1 codes
+  double gain = 1.0;          ///< multiplies lane-1 codes around mid-scale
+};
+
+/// Two-way time-interleaved converter.
+class InterleavedAdc {
+ public:
+  /// Build two dies from `base` (seeds `base.seed` and `base.seed + 1`),
+  /// each clocked at `base.conversion_rate`; the interleaved pair samples at
+  /// twice that. Lane 1's sampling instants are offset by half a lane
+  /// period plus `timing_skew_s` (the uncalibrated clock-path mismatch).
+  InterleavedAdc(const AdcConfig& base, double timing_skew_s = 0.0);
+
+  /// Convert n samples at the combined (2x) rate.
+  [[nodiscard]] std::vector<int> convert(const adc::dsp::Signal& signal, std::size_t n);
+
+  /// Combined conversion rate [Hz].
+  [[nodiscard]] double conversion_rate() const { return 2.0 * lane_rate_; }
+  [[nodiscard]] int resolution_bits() const { return lane0_.resolution_bits(); }
+  [[nodiscard]] double full_scale_vpp() const { return lane0_.full_scale_vpp(); }
+
+  /// Measure and apply lane-1 offset/gain correction from `samples` grounded
+  /// conversions and a pair of DC test levels (foreground, as production
+  /// trim does). Returns the coefficients applied.
+  LaneCorrection calibrate_lanes(int averaging = 256);
+
+  /// The active correction.
+  [[nodiscard]] const LaneCorrection& correction() const { return correction_; }
+  void set_correction(const LaneCorrection& c) { correction_ = c; }
+
+  [[nodiscard]] const PipelineAdc& lane(int i) const { return i == 0 ? lane0_ : lane1_; }
+
+ private:
+  double lane_rate_;
+  double timing_skew_s_;
+  PipelineAdc lane0_;
+  PipelineAdc lane1_;
+  LaneCorrection correction_;
+};
+
+}  // namespace adc::pipeline

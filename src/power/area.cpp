@@ -1,0 +1,30 @@
+#include "power/area.hpp"
+
+#include "common/error.hpp"
+
+namespace adc::power {
+
+AreaModel::AreaModel(const AreaSpec& spec) : spec_(spec) {
+  adc::common::require(spec.stage_unit > 0.0, "AreaModel: non-positive stage area");
+}
+
+AreaBreakdown AreaModel::estimate(const adc::pipeline::ScalingPolicy& scaling,
+                                  std::size_t num_stages) const {
+  AreaBreakdown a;
+  // Stage area follows the capacitor/bias scaling, with a floor: routing,
+  // comparators and local clocking do not shrink below ~35 % of a full stage.
+  constexpr double stage_area_floor = 0.35;
+  for (std::size_t i = 0; i < num_stages; ++i) {
+    const double s = scaling.factor(i);
+    a.pipeline += spec_.stage_unit * (s > stage_area_floor ? s : stage_area_floor);
+  }
+  a.flash = spec_.flash;
+  a.bias_and_references =
+      spec_.sc_bias + spec_.bandgap + spec_.reference_buffer + spec_.cm_generator;
+  a.digital = spec_.digital;
+  a.clocking = spec_.clock_gen;
+  a.routing = spec_.routing_overhead;
+  return a;
+}
+
+}  // namespace adc::power

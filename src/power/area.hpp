@@ -1,0 +1,57 @@
+/// \file area.hpp
+/// Silicon-area model of the IP block (paper: 0.86 mm^2 total).
+///
+/// Per-block areas follow the die photo (Fig. 7): pipeline chain, delay and
+/// correction logic, bandgap, SC bias generator, reference buffer, CM
+/// generator, plus routing/integration overhead. Stage area scales with the
+/// capacitor scaling policy — the area half of the paper's scaling argument
+/// (section 2: "lower area and lower power ... with only small degradation").
+#pragma once
+
+#include "pipeline/scaling.hpp"
+
+namespace adc::power {
+
+/// Block areas at stage-1 size [m^2]; calibrated so the paper's layout sums
+/// to its published 0.86 mm^2.
+struct AreaSpec {
+  double stage_unit = 0.062e-6;      ///< one full-size 1.5-bit stage
+  double flash = 0.020e-6;
+  double sc_bias = 0.050e-6;
+  double bandgap = 0.050e-6;
+  double reference_buffer = 0.120e-6;
+  double cm_generator = 0.030e-6;
+  double digital = 0.120e-6;         ///< delay + correction logic
+  double clock_gen = 0.040e-6;
+  double routing_overhead = 0.160e-6;
+};
+
+/// Per-block area breakdown [m^2].
+struct AreaBreakdown {
+  double pipeline = 0.0;
+  double flash = 0.0;
+  double bias_and_references = 0.0;  ///< SC bias + bandgap + ref buffer + CM
+  double digital = 0.0;
+  double clocking = 0.0;
+  double routing = 0.0;
+
+  [[nodiscard]] double total() const {
+    return pipeline + flash + bias_and_references + digital + clocking + routing;
+  }
+};
+
+/// Evaluates block areas for a given chain length and scaling policy.
+class AreaModel {
+ public:
+  explicit AreaModel(const AreaSpec& spec);
+
+  [[nodiscard]] AreaBreakdown estimate(const adc::pipeline::ScalingPolicy& scaling,
+                                       std::size_t num_stages) const;
+
+  [[nodiscard]] const AreaSpec& spec() const { return spec_; }
+
+ private:
+  AreaSpec spec_;
+};
+
+}  // namespace adc::power

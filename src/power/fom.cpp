@@ -1,0 +1,28 @@
+#include "power/fom.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace adc::power {
+
+double paper_fm(double enob, double f_cr_hz, double area_m2, double power_w) {
+  adc::common::require(f_cr_hz > 0.0 && area_m2 > 0.0 && power_w > 0.0,
+                       "paper_fm: non-positive argument");
+  const double f_msps = f_cr_hz / 1e6;
+  const double area_mm2 = area_m2 * 1e6;
+  const double power_mw = power_w * 1e3;
+  return std::pow(2.0, enob) * f_msps / (area_mm2 * power_mw);
+}
+
+double walden_energy_per_step(double enob, double f_cr_hz, double power_w) {
+  adc::common::require(f_cr_hz > 0.0 && power_w > 0.0,
+                       "walden_energy_per_step: non-positive argument");
+  return power_w / (std::pow(2.0, enob) * f_cr_hz);
+}
+
+double walden_pj_per_step(double enob, double f_cr_hz, double power_w) {
+  return walden_energy_per_step(enob, f_cr_hz, power_w) * 1e12;
+}
+
+}  // namespace adc::power

@@ -1,0 +1,25 @@
+/// \file fom.hpp
+/// Figures of merit.
+///
+/// The paper adapts Walden's FoM [4] to include silicon area (its eq. 2):
+///
+///     FM = 2^ENOB * f_CR / (A * P_SUP)
+///
+/// with f_CR in MS/s, A in mm^2 and P_SUP in mW (Fig. 8 caption). The
+/// conventional Walden energy FoM (pJ per conversion step) is provided too.
+#pragma once
+
+namespace adc::power {
+
+/// The paper's area-aware figure of merit (eq. 2).
+/// `f_cr_hz` in Hz, `area_m2` in m^2, `power_w` in W; the unit conversion to
+/// the paper's MS/s / mm^2 / mW convention happens inside.
+[[nodiscard]] double paper_fm(double enob, double f_cr_hz, double area_m2, double power_w);
+
+/// Walden energy per conversion step [J]: P / (2^ENOB * f_CR).
+[[nodiscard]] double walden_energy_per_step(double enob, double f_cr_hz, double power_w);
+
+/// Walden FoM expressed in the usual pJ/step.
+[[nodiscard]] double walden_pj_per_step(double enob, double f_cr_hz, double power_w);
+
+}  // namespace adc::power

@@ -1,0 +1,37 @@
+#include "power/power_model.hpp"
+
+#include "common/error.hpp"
+
+namespace adc::power {
+
+PowerModel::PowerModel(const PowerSpec& spec) : spec_(spec) {
+  adc::common::require(spec.digital_switched_cap >= 0.0, "PowerModel: negative digital cap");
+  adc::common::require(spec.comparator_energy >= 0.0, "PowerModel: negative comparator energy");
+}
+
+PowerBreakdown PowerModel::estimate(const adc::pipeline::PipelineAdc& adc, double f_cr) const {
+  adc::common::require(f_cr > 0.0, "PowerModel: non-positive conversion rate");
+  const auto& cfg = adc.config();
+  const double vdd = cfg.vdd;
+
+  PowerBreakdown p;
+  p.pipeline_analog = vdd * adc.pipeline_bias_current(f_cr);
+  p.bias_generator = vdd * adc.bias_source().overhead_current();
+  p.reference_buffer = vdd * cfg.refs.quiescent_current;
+  p.bandgap_cm = vdd * (spec_.bandgap_current + spec_.cm_gen_current);
+
+  // Every conversion clocks 2 comparators per 1.5-bit stage plus the flash's
+  // 2^F - 1 latches.
+  const double decisions =
+      2.0 * static_cast<double>(cfg.num_stages) + static_cast<double>((1 << cfg.flash_bits) - 1);
+  p.comparators = decisions * spec_.comparator_energy * f_cr;
+
+  p.digital = spec_.digital_switched_cap * vdd * vdd * f_cr + vdd * spec_.digital_static_current;
+  return p;
+}
+
+PowerBreakdown PowerModel::estimate(const adc::pipeline::PipelineAdc& adc) const {
+  return estimate(adc, adc.conversion_rate());
+}
+
+}  // namespace adc::power

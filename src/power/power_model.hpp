@@ -1,0 +1,65 @@
+/// \file power_model.hpp
+/// Supply-power model of the converter (paper Fig. 4 and Table I).
+///
+/// Analog power follows the bias currents: with the SC generator of eq. (1)
+/// every stage current is proportional to f_CR, so the analog pipeline power
+/// is linear in conversion rate. On top sit the rate-independent reference
+/// buffer, bandgap and CM generator, the CV^2*f digital correction logic and
+/// the clocked comparators. The paper's measured line — 97 mW at 110 MS/s,
+/// 110 mW at 130 MS/s — is reproduced by this decomposition with the
+/// calibrated block constants of `nominal_power_spec()` (see DESIGN.md,
+/// calibration policy).
+#pragma once
+
+#include "pipeline/adc.hpp"
+
+namespace adc::power {
+
+/// Block constants of the power model (calibrated once at the nominal
+/// design point; see design.cpp).
+struct PowerSpec {
+  double bandgap_current = 0.4e-3;   ///< [A], static
+  double cm_gen_current = 0.6e-3;    ///< [A], static
+  /// Effective switched capacitance of the delay/correction logic and clock
+  /// tree [F]: P_dig = C_eff * VDD^2 * f_CR.
+  double digital_switched_cap = 36e-12;
+  double digital_static_current = 0.2e-3;  ///< leakage + always-on logic [A]
+  /// Energy per comparator decision [J] (ADSC + flash latches).
+  double comparator_energy = 0.5e-12;
+};
+
+/// Per-block power breakdown [W].
+struct PowerBreakdown {
+  double pipeline_analog = 0.0;   ///< stage opamp bias currents
+  double bias_generator = 0.0;    ///< SC/fixed generator overhead
+  double reference_buffer = 0.0;
+  double bandgap_cm = 0.0;        ///< bandgap + CM generator
+  double comparators = 0.0;       ///< clocked ADSC/flash latches
+  double digital = 0.0;           ///< correction logic + clock tree
+
+  [[nodiscard]] double total() const {
+    return pipeline_analog + bias_generator + reference_buffer + bandgap_cm + comparators +
+           digital;
+  }
+};
+
+/// Evaluates the power model against a realized converter.
+class PowerModel {
+ public:
+  explicit PowerModel(const PowerSpec& spec);
+
+  /// Breakdown at conversion rate `f_cr` [Hz] for converter `adc`
+  /// (which carries the realized bias generator and mirror ratios).
+  [[nodiscard]] PowerBreakdown estimate(const adc::pipeline::PipelineAdc& adc,
+                                        double f_cr) const;
+
+  /// Breakdown at the converter's configured rate.
+  [[nodiscard]] PowerBreakdown estimate(const adc::pipeline::PipelineAdc& adc) const;
+
+  [[nodiscard]] const PowerSpec& spec() const { return spec_; }
+
+ private:
+  PowerSpec spec_;
+};
+
+}  // namespace adc::power

@@ -1,0 +1,73 @@
+#include "survey/survey.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "power/fom.hpp"
+
+namespace adc::survey {
+
+std::string to_string(SupplyClass c) {
+  switch (c) {
+    case SupplyClass::k1V8: return "1.8V";
+    case SupplyClass::k2V5to2V7: return "2.5-2.7V";
+    case SupplyClass::k3Vto3V3: return "3.0-3.3V";
+    case SupplyClass::k5V: return "5V";
+    case SupplyClass::k10V: return "10V";
+  }
+  return "?";
+}
+
+SupplyClass classify_supply(double supply_v) {
+  if (supply_v < 2.2) return SupplyClass::k1V8;
+  if (supply_v < 2.9) return SupplyClass::k2V5to2V7;
+  if (supply_v < 4.0) return SupplyClass::k3Vto3V3;
+  if (supply_v < 7.5) return SupplyClass::k5V;
+  return SupplyClass::k10V;
+}
+
+std::vector<SurveyPoint> evaluate(const std::vector<SurveyEntry>& entries) {
+  std::vector<SurveyPoint> points;
+  points.reserve(entries.size());
+  for (const auto& e : entries) {
+    SurveyPoint p;
+    p.entry = e;
+    p.fm = adc::power::paper_fm(e.enob, e.f_cr_msps * 1e6, e.area_mm2 * 1e-6,
+                                e.power_mw * 1e-3);
+    p.inv_area = 1.0 / e.area_mm2;
+    p.supply_class = classify_supply(e.supply_v);
+    points.push_back(p);
+  }
+  return points;
+}
+
+namespace {
+
+const SurveyPoint& find(const std::vector<SurveyPoint>& points, const std::string& name) {
+  for (const auto& p : points) {
+    if (p.entry.name == name) return p;
+  }
+  throw adc::common::MeasurementError("survey: entry not found: " + name);
+}
+
+}  // namespace
+
+std::size_t fm_rank(const std::vector<SurveyPoint>& points, const std::string& name) {
+  const auto& target = find(points, name);
+  std::size_t rank = 1;
+  for (const auto& p : points) {
+    if (p.fm > target.fm) ++rank;
+  }
+  return rank;
+}
+
+std::size_t area_rank(const std::vector<SurveyPoint>& points, const std::string& name) {
+  const auto& target = find(points, name);
+  std::size_t rank = 1;
+  for (const auto& p : points) {
+    if (p.entry.area_mm2 < target.entry.area_mm2) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace adc::survey

@@ -1,0 +1,66 @@
+/// \file survey.hpp
+/// The 12-bit ADC survey behind the paper's Fig. 8: FM (eq. 2) versus 1/A
+/// for 15 converters grouped by supply voltage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adc::survey {
+
+/// Supply-voltage class — the legend groups of Fig. 8.
+enum class SupplyClass {
+  k1V8,        ///< 1.8 V
+  k2V5to2V7,   ///< 2.5 .. 2.7 V
+  k3Vto3V3,    ///< 3.0 .. 3.3 V
+  k5V,         ///< 5 V
+  k10V,        ///< 10 V
+};
+
+[[nodiscard]] std::string to_string(SupplyClass c);
+
+/// Classify a supply voltage into its Fig. 8 legend group.
+[[nodiscard]] SupplyClass classify_supply(double supply_v);
+
+/// One published converter.
+struct SurveyEntry {
+  std::string name;        ///< short identifier, e.g. "This design", "[5] Zjajo'03"
+  int year = 0;
+  std::string venue;
+  int resolution_bits = 12;
+  double supply_v = 0.0;
+  double f_cr_msps = 0.0;  ///< conversion rate [MS/s]
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  double enob = 0.0;
+  bool is_this_design = false;
+  /// True for the representative entries synthesized from typical
+  /// ISSCC/VLSI-era parts (documented in survey_data.cpp); false for parts
+  /// with numbers taken from the cited publications or this paper.
+  bool synthetic = false;
+};
+
+/// Entry plus derived quantities for plotting.
+struct SurveyPoint {
+  SurveyEntry entry;
+  double fm = 0.0;           ///< paper eq. 2, MS/s / (mm^2 * mW) units
+  double inv_area = 0.0;     ///< 1/A [1/mm^2]
+  SupplyClass supply_class = SupplyClass::k5V;
+};
+
+/// The 15-entry dataset of Fig. 8 (including "This design" with the paper's
+/// published numbers; benches may substitute simulated numbers).
+[[nodiscard]] std::vector<SurveyEntry> fig8_dataset();
+
+/// Compute FM and 1/A for every entry.
+[[nodiscard]] std::vector<SurveyPoint> evaluate(const std::vector<SurveyEntry>& entries);
+
+/// Rank of `name` by descending FM (1 = best). Throws if absent.
+[[nodiscard]] std::size_t fm_rank(const std::vector<SurveyPoint>& points,
+                                  const std::string& name);
+
+/// Rank of `name` by ascending area (1 = smallest).
+[[nodiscard]] std::size_t area_rank(const std::vector<SurveyPoint>& points,
+                                    const std::string& name);
+
+}  // namespace adc::survey

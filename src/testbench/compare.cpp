@@ -1,0 +1,41 @@
+#include "testbench/compare.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "testbench/report.hpp"
+
+namespace adc::testbench {
+
+PaperComparison::PaperComparison(std::string experiment_id) : id_(std::move(experiment_id)) {}
+
+void PaperComparison::add(const std::string& metric, const std::string& paper,
+                          const std::string& simulated, const std::string& note) {
+  rows_.push_back({metric, paper, simulated, note});
+}
+
+void PaperComparison::add_numeric(const std::string& metric, double paper, double simulated,
+                                  const std::string& unit, const std::string& note) {
+  std::ostringstream dev;
+  if (paper != 0.0) {
+    dev.setf(std::ios::fixed);
+    dev.precision(1);
+    dev << (simulated - paper >= 0.0 ? "+" : "") << (simulated - paper) << " " << unit;
+    if (!note.empty()) dev << "; " << note;
+  }
+  rows_.push_back({metric, AsciiTable::num(paper, 1) + " " + unit,
+                   AsciiTable::num(simulated, 1) + " " + unit, dev.str()});
+}
+
+void PaperComparison::add_shape(const std::string& aspect, const std::string& paper,
+                                const std::string& simulated, bool matches) {
+  rows_.push_back({aspect, paper, simulated, matches ? "shape: MATCH" : "shape: MISMATCH"});
+}
+
+std::string PaperComparison::render() const {
+  AsciiTable table({"metric (" + id_ + ")", "paper", "simulated", "delta / note"});
+  for (const auto& r : rows_) table.add_row({r.metric, r.paper, r.simulated, r.note});
+  return table.render();
+}
+
+}  // namespace adc::testbench

@@ -1,0 +1,41 @@
+/// \file compare.hpp
+/// Paper-versus-simulation comparison blocks printed by every bench binary,
+/// so EXPERIMENTS.md rows can be regenerated mechanically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adc::testbench {
+
+/// Accumulates "paper said X, we measured Y" rows.
+class PaperComparison {
+ public:
+  explicit PaperComparison(std::string experiment_id);
+
+  /// Free-text row.
+  void add(const std::string& metric, const std::string& paper, const std::string& simulated,
+           const std::string& note = "");
+
+  /// Numeric row; the deviation column is filled automatically.
+  void add_numeric(const std::string& metric, double paper, double simulated,
+                   const std::string& unit, const std::string& note = "");
+
+  /// Shape/qualitative row (e.g. "linear in f_CR", "roll-off above 100 MHz").
+  void add_shape(const std::string& aspect, const std::string& paper,
+                 const std::string& simulated, bool matches);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::string metric;
+    std::string paper;
+    std::string simulated;
+    std::string note;
+  };
+  std::string id_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace adc::testbench

@@ -1,0 +1,41 @@
+#include "testbench/dynamic_test.hpp"
+
+#include "common/error.hpp"
+
+namespace adc::testbench {
+
+DynamicTestResult run_dynamic_test(adc::pipeline::PipelineAdc& adc,
+                                   const DynamicTestOptions& options) {
+  adc::common::require(options.amplitude_fraction > 0.0 && options.amplitude_fraction <= 1.05,
+                       "run_dynamic_test: amplitude fraction outside (0, 1.05]");
+  const double fs = adc.conversion_rate();
+  const std::size_t n = options.record_length;
+
+  DynamicTestResult result;
+  result.tone = adc::dsp::coherent_frequency(options.target_fin_hz, fs, n);
+
+  adc::common::require(options.averages >= 1, "run_dynamic_test: averages must be >= 1");
+  const double amplitude = options.amplitude_fraction * adc.full_scale_vpp() / 2.0;
+  const adc::dsp::SineSignal tone(amplitude, result.tone.frequency_hz);
+
+  adc::dsp::SpectrumOptions spec = options.spectrum;
+  spec.fundamental_bin = result.tone.cycles;
+  if (options.averages == 1) {
+    const auto codes = adc.convert(tone, n);
+    const auto volts =
+        adc::dsp::codes_to_volts(codes, adc.resolution_bits(), adc.full_scale_vpp());
+    result.metrics = adc::dsp::analyze_tone(volts, fs, spec);
+  } else {
+    std::vector<std::vector<double>> records;
+    records.reserve(static_cast<std::size_t>(options.averages));
+    for (int r = 0; r < options.averages; ++r) {
+      const auto codes = adc.convert(tone, n);
+      records.push_back(
+          adc::dsp::codes_to_volts(codes, adc.resolution_bits(), adc.full_scale_vpp()));
+    }
+    result.metrics = adc::dsp::analyze_tone_averaged(records, fs, spec);
+  }
+  return result;
+}
+
+}  // namespace adc::testbench

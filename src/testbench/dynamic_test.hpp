@@ -1,0 +1,44 @@
+/// \file dynamic_test.hpp
+/// The dynamic (single-tone) characterization bench.
+///
+/// Mirrors the paper's measurement setup: a filtered sine near full scale is
+/// applied, a coherent record is captured and FFT'd, and SNR/SNDR/SFDR/ENOB
+/// are read from the spectrum. The tone frequency is snapped to the nearest
+/// odd coherent bin so the rectangular window applies.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/signal.hpp"
+#include "dsp/spectrum.hpp"
+#include "pipeline/adc.hpp"
+
+namespace adc::testbench {
+
+/// Options for one dynamic measurement.
+struct DynamicTestOptions {
+  std::size_t record_length = 1 << 13;
+  /// Requested input frequency [Hz]; snapped to the nearest odd coherent bin.
+  double target_fin_hz = 10e6;
+  /// Signal amplitude as a fraction of full scale (the paper measures "near
+  /// full scale", 2 V_P-P).
+  double amplitude_fraction = 0.985;
+  /// Analysis options (window, harmonic count).
+  adc::dsp::SpectrumOptions spectrum;
+  /// Number of records whose *power spectra* are averaged before the
+  /// metrics are read (bench practice for tightening the noise estimate;
+  /// tone and spur levels are unaffected, their variance shrinks).
+  int averages = 1;
+};
+
+/// Result: the exact tone used plus the spectral metrics.
+struct DynamicTestResult {
+  adc::dsp::CoherentTone tone;
+  adc::dsp::SpectrumMetrics metrics;
+};
+
+/// Run one dynamic measurement on a realized converter.
+[[nodiscard]] DynamicTestResult run_dynamic_test(adc::pipeline::PipelineAdc& adc,
+                                                 const DynamicTestOptions& options = {});
+
+}  // namespace adc::testbench

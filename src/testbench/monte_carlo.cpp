@@ -1,0 +1,64 @@
+#include "testbench/monte_carlo.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace adc::testbench {
+
+double MonteCarloResult::yield_at_least(double limit) const {
+  if (values.empty()) return 0.0;
+  const auto pass = std::count_if(values.begin(), values.end(),
+                                  [limit](double v) { return v >= limit; });
+  return static_cast<double>(pass) / static_cast<double>(values.size());
+}
+
+double MonteCarloResult::yield_at_most(double limit) const {
+  if (values.empty()) return 0.0;
+  const auto pass = std::count_if(values.begin(), values.end(),
+                                  [limit](double v) { return v <= limit; });
+  return static_cast<double>(pass) / static_cast<double>(values.size());
+}
+
+MonteCarloResult run_monte_carlo(const adc::pipeline::AdcConfig& base, const DieMetric& metric,
+                                 const MonteCarloOptions& options) {
+  adc::common::require(options.num_dies >= 1, "run_monte_carlo: need at least one die");
+  adc::common::require(static_cast<bool>(metric), "run_monte_carlo: empty metric");
+
+  MonteCarloResult result;
+  result.values.assign(static_cast<std::size_t>(options.num_dies), 0.0);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto nthreads = static_cast<unsigned>(
+      options.threads > 0 ? static_cast<unsigned>(options.threads)
+                          : std::min<unsigned>(hw, static_cast<unsigned>(options.num_dies)));
+
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int die = next.fetch_add(1);
+      if (die >= options.num_dies) return;
+      adc::pipeline::AdcConfig cfg = base;
+      cfg.seed = options.first_seed + static_cast<std::uint64_t>(die);
+      adc::pipeline::PipelineAdc converter(cfg);
+      result.values[static_cast<std::size_t>(die)] = metric(converter);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  result.mean = adc::common::mean(result.values);
+  result.std_dev = adc::common::std_dev(result.values);
+  const auto mm = adc::common::min_max(result.values);
+  result.min = mm.min;
+  result.max = mm.max;
+  return result;
+}
+
+}  // namespace adc::testbench

@@ -1,0 +1,208 @@
+#include "testbench/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace adc::testbench {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  adc::common::require(!headers_.empty(), "AsciiTable: no columns");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  adc::common::require(cells.size() == headers_.size(), "AsciiTable: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string AsciiTable::eng(double v, const std::string& unit, int precision) {
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kPrefixes[] = {{1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+                   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}};
+  const double mag = std::abs(v);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale || (&p == std::end(kPrefixes) - 1)) {
+      return num(v / p.scale, precision) + " " + p.prefix + unit;
+    }
+  }
+  return num(v, precision) + " " + unit;
+}
+
+namespace {
+
+double axis_transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  adc::common::require(v > 0.0, "render_plot: log axis requires positive values");
+  return std::log10(v);
+}
+
+std::string format_tick(double v) {
+  std::ostringstream out;
+  if (v != 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-3)) {
+    out.precision(1);
+    out << std::scientific << v;
+  } else {
+    out.precision(std::abs(v) >= 100.0 ? 0 : 2);
+    out.setf(std::ios::fixed);
+    out << v;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_plot(std::span<const PlotSeries> series, const PlotOptions& options) {
+  adc::common::require(!series.empty(), "render_plot: no series");
+  adc::common::require(options.width >= 16 && options.height >= 6,
+                       "render_plot: canvas too small");
+
+  // Gather transformed data ranges.
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : series) {
+    adc::common::require(s.x.size() == s.y.size(), "render_plot: series size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = axis_transform(s.x[i], options.log_x);
+      const double ty = axis_transform(s.y[i], options.log_y);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+    }
+  }
+  if (options.fixed_x) {
+    xmin = axis_transform(options.x_min, options.log_x);
+    xmax = axis_transform(options.x_max, options.log_x);
+  }
+  if (options.fixed_y) {
+    ymin = axis_transform(options.y_min, options.log_y);
+    ymax = axis_transform(options.y_max, options.log_y);
+  }
+  adc::common::require(std::isfinite(xmin) && std::isfinite(ymin),
+                       "render_plot: no data points");
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+  // A little headroom so points never sit on the frame (auto axes only;
+  // fixed ranges are respected exactly).
+  if (!options.fixed_x) {
+    const double xpad = 0.02 * (xmax - xmin);
+    xmin -= xpad;
+    xmax += xpad;
+  }
+  if (!options.fixed_y) {
+    const double ypad = 0.05 * (ymax - ymin);
+    ymin -= ypad;
+    ymax += ypad;
+  }
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = axis_transform(s.x[i], options.log_x);
+      const double ty = axis_transform(s.y[i], options.log_y);
+      if (tx < xmin || tx > xmax || ty < ymin || ty > ymax) continue;
+      const int col = static_cast<int>(std::lround((tx - xmin) / (xmax - xmin) * (w - 1)));
+      const int row = static_cast<int>(std::lround((ty - ymin) / (ymax - ymin) * (h - 1)));
+      canvas[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] = s.symbol;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+
+  auto untransform = [](double v, bool log_scale) {
+    return log_scale ? std::pow(10.0, v) : v;
+  };
+
+  // Y-axis labels on the left of the frame, at top/middle/bottom.
+  const std::string ytop = format_tick(untransform(ymax, options.log_y));
+  const std::string ymid = format_tick(untransform(0.5 * (ymin + ymax), options.log_y));
+  const std::string ybot = format_tick(untransform(ymin, options.log_y));
+  std::size_t label_w = std::max({ytop.size(), ymid.size(), ybot.size()});
+
+  auto margin = [&](const std::string& label) {
+    return std::string(label_w - label.size(), ' ') + label;
+  };
+
+  out << margin(ytop) << " +" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  for (int r = 0; r < h; ++r) {
+    if (r == h / 2) {
+      out << margin(ymid) << " |";
+    } else {
+      out << std::string(label_w, ' ') << " |";
+    }
+    out << canvas[static_cast<std::size_t>(r)] << "|\n";
+  }
+  out << margin(ybot) << " +" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+
+  const std::string xlo = format_tick(untransform(xmin, options.log_x));
+  const std::string xhi = format_tick(untransform(xmax, options.log_x));
+  out << std::string(label_w + 2, ' ') << xlo;
+  const auto used = xlo.size() + xhi.size();
+  if (static_cast<std::size_t>(w) > used) {
+    out << std::string(static_cast<std::size_t>(w) - used, ' ');
+  }
+  out << xhi << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out << std::string(label_w + 2, ' ') << options.x_label;
+    if (!options.y_label.empty()) out << "   (y: " << options.y_label << ")";
+    out << '\n';
+  }
+
+  out << std::string(label_w + 2, ' ') << "legend:";
+  for (const auto& s : series) out << "  " << s.symbol << " = " << s.label;
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace adc::testbench

@@ -1,0 +1,57 @@
+/// \file report.hpp
+/// Terminal rendering for the bench binaries: aligned tables and ASCII
+/// line/scatter plots (linear or logarithmic axes) so every figure of the
+/// paper can be regenerated as text.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace adc::testbench {
+
+/// Simple column-aligned table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+  /// Format a double with `precision` digits after the point.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  /// Engineering formatting with a unit, e.g. eng(97e-3, "W") -> "97.0 mW".
+  [[nodiscard]] static std::string eng(double v, const std::string& unit, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One plotted series.
+struct PlotSeries {
+  std::string label;
+  char symbol = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Plot canvas options.
+struct PlotOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  int width = 72;   ///< plot-area columns
+  int height = 20;  ///< plot-area rows
+  bool log_x = false;
+  bool log_y = false;
+  /// Optional fixed axis ranges; NaN = auto.
+  double x_min = 0.0, x_max = 0.0, y_min = 0.0, y_max = 0.0;
+  bool fixed_x = false, fixed_y = false;
+};
+
+/// Render one or more series on a shared canvas with axes and a legend.
+[[nodiscard]] std::string render_plot(std::span<const PlotSeries> series,
+                                      const PlotOptions& options);
+
+}  // namespace adc::testbench

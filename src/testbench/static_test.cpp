@@ -1,0 +1,64 @@
+#include "testbench/static_test.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/signal.hpp"
+
+namespace adc::testbench {
+
+adc::dsp::LinearityResult run_histogram_test(adc::pipeline::PipelineAdc& adc,
+                                             const HistogramTestOptions& options) {
+  adc::common::require(options.samples >= 1024, "run_histogram_test: record too short");
+  adc::common::require(options.overdrive_fraction > 1.0,
+                       "run_histogram_test: sine must overdrive the full scale");
+  const double fs = adc.conversion_rate();
+  const double amplitude = options.overdrive_fraction * adc.full_scale_vpp() / 2.0;
+  const adc::dsp::SineSignal sine(amplitude, options.fin_fraction * fs);
+
+  const auto codes = adc.convert(sine, options.samples);
+  return adc::dsp::histogram_linearity(codes, adc.resolution_bits());
+}
+
+std::vector<double> extract_transfer_edges(adc::pipeline::PipelineAdc& adc,
+                                           int search_iterations) {
+  adc::common::require(search_iterations >= 8, "extract_transfer_edges: too few iterations");
+  const int bits = adc.resolution_bits();
+  const auto ncodes = static_cast<std::size_t>(1) << bits;
+  const double half_fs = adc.full_scale_vpp() / 2.0;
+
+  // Determinism check: the transfer must be noise-free for edge search.
+  // Repeat several conversions at several probes; with any noise enabled,
+  // a probe near a code edge flips codes almost surely.
+  for (int p = 0; p < 16; ++p) {
+    const double probe = (-0.9 + 0.113 * p) * half_fs;
+    const int first = adc.convert_dc(probe);
+    for (int rep = 0; rep < 8; ++rep) {
+      if (adc.convert_dc(probe) != first) {
+        throw adc::common::MeasurementError(
+            "extract_transfer_edges: converter is noisy; disable thermal/comparator "
+            "noise");
+      }
+    }
+  }
+
+  std::vector<double> edges(ncodes - 1);
+  for (std::size_t k = 0; k + 1 < ncodes; ++k) {
+    // Edge between code k and k+1: binary search assuming monotone transfer.
+    double lo = -1.05 * half_fs;
+    double hi = 1.05 * half_fs;
+    const int target = static_cast<int>(k);
+    for (int it = 0; it < search_iterations; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (adc.convert_dc(mid) <= target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    edges[k] = 0.5 * (lo + hi);
+  }
+  return edges;
+}
+
+}  // namespace adc::testbench

@@ -1,0 +1,37 @@
+/// \file static_test.hpp
+/// Static-linearity benches: the sine-histogram test (as a real bench would
+/// run it, noise and all) and a fast noiseless edge-search extraction for
+/// unit tests.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/linearity.hpp"
+#include "pipeline/adc.hpp"
+
+namespace adc::testbench {
+
+/// Options for the sine-histogram static test.
+struct HistogramTestOptions {
+  /// Record length; >= ~1000 samples per code for a trustworthy 12-bit DNL
+  /// (the Table I bench uses 2^22).
+  std::size_t samples = 1 << 22;
+  /// Overdrive beyond full scale so the end codes saturate cleanly.
+  double overdrive_fraction = 1.02;
+  /// Input frequency as an irrational-ish fraction of f_CR for uniform phase
+  /// coverage (never locks to the sampling grid).
+  double fin_fraction = 0.382197186342054;  // ~ (golden ratio - 1)/phi^2-ish
+};
+
+/// Run the sine-histogram DNL/INL measurement.
+[[nodiscard]] adc::dsp::LinearityResult run_histogram_test(
+    adc::pipeline::PipelineAdc& adc, const HistogramTestOptions& options = {});
+
+/// Noiseless transfer-edge extraction via binary search on DC conversions.
+/// Requires a converter configured without thermal/comparator noise
+/// (deterministic transfer); throws MeasurementError if the transfer is not
+/// reproducible. Returns all 2^bits - 1 code-transition voltages.
+[[nodiscard]] std::vector<double> extract_transfer_edges(adc::pipeline::PipelineAdc& adc,
+                                                         int search_iterations = 40);
+
+}  // namespace adc::testbench

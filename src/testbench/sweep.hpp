@@ -1,0 +1,39 @@
+/// \file sweep.hpp
+/// Parameter sweeps over conversion rate and input frequency — the x-axes of
+/// the paper's Figs. 4, 5 and 6.
+///
+/// Each sweep point re-instantiates the converter from the same config and
+/// seed, so every point measures the *same die* (identical Monte-Carlo
+/// draws) under different operating conditions — exactly what the paper's
+/// bench did with its single packaged part.
+#pragma once
+
+#include <vector>
+
+#include "pipeline/adc.hpp"
+#include "testbench/dynamic_test.hpp"
+
+namespace adc::testbench {
+
+/// One point of a dynamic sweep.
+struct SweepPoint {
+  double x = 0.0;  ///< the swept variable (rate [Hz] or fin [Hz])
+  DynamicTestResult result;
+};
+
+/// Dynamic metrics versus conversion rate (paper Fig. 5). The input tone
+/// follows `options.target_fin_hz` but is capped at `max_fin_fraction` of
+/// Nyquist so low-rate points stay in the first Nyquist zone.
+[[nodiscard]] std::vector<SweepPoint> sweep_conversion_rate(
+    const adc::pipeline::AdcConfig& base, const std::vector<double>& rates_hz,
+    const DynamicTestOptions& options, double max_fin_fraction = 0.9);
+
+/// Dynamic metrics versus input frequency at a fixed rate (paper Fig. 6).
+/// Frequencies above Nyquist are measured under-sampled (as the paper does
+/// up to 150 MHz at 110 MS/s): the tone aliases in-band and the analysis
+/// tracks the aliased bin.
+[[nodiscard]] std::vector<SweepPoint> sweep_input_frequency(
+    const adc::pipeline::AdcConfig& base, const std::vector<double>& fins_hz,
+    const DynamicTestOptions& options);
+
+}  // namespace adc::testbench

@@ -1,0 +1,169 @@
+/// Integration tests: each non-ideality, enabled in isolation, must move the
+/// right metric in the right direction — the causal structure behind the
+/// paper's Figs. 5 and 6.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/adc.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/sweep.hpp"
+
+namespace ap = adc::pipeline;
+namespace tb = adc::testbench;
+
+namespace {
+
+ap::AdcConfig with_only(void (*set)(ap::NonIdealities&)) {
+  ap::AdcConfig cfg = ap::nominal_design();
+  cfg.enable = ap::NonIdealities::all_off();
+  set(cfg.enable);
+  return cfg;
+}
+
+tb::DynamicTestResult measure(const ap::AdcConfig& cfg, double fin = 10e6) {
+  ap::PipelineAdc adc(cfg);
+  tb::DynamicTestOptions opt;
+  opt.target_fin_hz = fin;
+  opt.record_length = 1 << 12;
+  return tb::run_dynamic_test(adc, opt);
+}
+
+double ideal_snr() {
+  static const double snr =
+      measure(ap::ideal_design()).metrics.snr_db;
+  return snr;
+}
+
+}  // namespace
+
+TEST(NonIdealities, ThermalNoiseLowersSnrNotSfdr) {
+  const auto m = measure(with_only([](ap::NonIdealities& e) { e.thermal_noise = true; }));
+  EXPECT_LT(m.metrics.snr_db, ideal_snr() - 2.0);
+  EXPECT_GT(m.metrics.sfdr_db, 85.0);  // noise is not a spur
+}
+
+TEST(NonIdealities, JitterMattersOnlyAtHighInputFrequency) {
+  // Use 10x the design jitter so the effect is unambiguous against the
+  // quantization floor: SNR_jit = -20log10(2*pi*fin*sigma) = 60.5 dB at
+  // 50 MHz but 88.5 dB at 2 MHz.
+  auto cfg = with_only([](ap::NonIdealities& e) { e.aperture_jitter = true; });
+  cfg.clock.jitter_rms_s = 3e-12;
+  const auto lo = measure(cfg, 2e6);
+  const auto hi = measure(cfg, 50e6);
+  EXPECT_GT(lo.metrics.snr_db, ideal_snr() - 1.0);  // invisible at 2 MHz
+  EXPECT_LT(hi.metrics.snr_db, 64.0);               // dominant at 50 MHz
+  EXPECT_NEAR(hi.metrics.snr_db, 60.5, 2.0);
+}
+
+TEST(NonIdealities, MismatchCreatesStaticDistortion) {
+  const auto m =
+      measure(with_only([](ap::NonIdealities& e) { e.capacitor_mismatch = true; }));
+  EXPECT_LT(m.metrics.sfdr_db, 85.0);
+  EXPECT_LT(m.metrics.sndr_db, ideal_snr());
+}
+
+TEST(NonIdealities, ComparatorImperfectionsAreAbsorbedByRedundancy) {
+  // The paper's ADSC offsets are far inside V_REF/4: enabling them barely
+  // moves any metric.
+  const auto m = measure(
+      with_only([](ap::NonIdealities& e) { e.comparator_imperfections = true; }));
+  EXPECT_GT(m.metrics.enob, 11.9);
+}
+
+TEST(NonIdealities, FiniteGainCostsLinearity) {
+  const auto m =
+      measure(with_only([](ap::NonIdealities& e) { e.finite_opamp_gain = true; }));
+  EXPECT_LT(m.metrics.sfdr_db, 95.0);
+  EXPECT_GT(m.metrics.enob, 11.5);  // 86 dB gain: small but visible
+}
+
+TEST(NonIdealities, SettlingDegradesWithConversionRate) {
+  // The Fig. 5 high-rate mechanism.
+  auto cfg = with_only([](ap::NonIdealities& e) { e.incomplete_settling = true; });
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto pts = tb::sweep_conversion_rate(cfg, {110e6, 180e6}, opt);
+  EXPECT_GT(pts[0].result.metrics.sndr_db, pts[1].result.metrics.sndr_db + 1.0);
+}
+
+TEST(NonIdealities, TrackingDistortionGrowsWithInputFrequency) {
+  // The Fig. 6 mechanism, isolated: disable the (frequency-independent)
+  // charge injection so only the R_on(v)*C tracking term remains; its
+  // distortion grows linearly with input frequency.
+  auto cfg = with_only([](ap::NonIdealities& e) { e.tracking_nonlinearity = true; });
+  cfg.input_switch.injection_fraction = 0.0;
+  const auto lo = measure(cfg, 5e6);
+  const auto hi = measure(cfg, 45e6);
+  EXPECT_GT(hi.metrics.thd_db, lo.metrics.thd_db + 6.0);  // more distortion power
+  EXPECT_LT(hi.metrics.sndr_db, lo.metrics.sndr_db - 3.0);
+}
+
+TEST(NonIdealities, ChargeInjectionIsFrequencyIndependent) {
+  // The static half of the input-switch nonlinearity: same THD at 5 and
+  // 45 MHz once the tau term is turned off (huge switches).
+  auto cfg = with_only([](ap::NonIdealities& e) { e.tracking_nonlinearity = true; });
+  cfg.input_switch.w_over_l_nmos = 6000.0;
+  cfg.input_switch.w_over_l_pmos = 12000.0;
+  // Keep the injected charge at the design value despite the big devices.
+  cfg.input_switch.injection_fraction = 0.130 * 60.0 / 6000.0;
+  const auto lo = measure(cfg, 5e6);
+  const auto hi = measure(cfg, 45e6);
+  EXPECT_NEAR(hi.metrics.thd_db, lo.metrics.thd_db, 2.5);
+}
+
+TEST(NonIdealities, LeakageOnlyHurtsSlowClocks) {
+  // The Fig. 5 low-rate mechanism.
+  auto cfg = with_only([](ap::NonIdealities& e) { e.hold_leakage = true; });
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto pts = tb::sweep_conversion_rate(cfg, {2e6, 110e6}, opt);
+  EXPECT_LT(pts[0].result.metrics.sfdr_db, pts[1].result.metrics.sfdr_db - 3.0);
+}
+
+TEST(NonIdealities, SeedReproducibility) {
+  const auto cfg = ap::nominal_design();
+  ap::PipelineAdc a(cfg);
+  ap::PipelineAdc b(cfg);
+  const adc::dsp::SineSignal tone(0.9, 10.0037e6);
+  EXPECT_EQ(a.convert(tone, 512), b.convert(tone, 512));
+}
+
+TEST(NonIdealities, DifferentSeedsAreDifferentDies) {
+  auto cfg1 = ap::nominal_design(1);
+  auto cfg2 = ap::nominal_design(2);
+  ap::PipelineAdc a(cfg1);
+  ap::PipelineAdc b(cfg2);
+  // Different mismatch draws: the DC transfers differ somewhere.
+  int diffs = 0;
+  for (double v = -0.9; v <= 0.9; v += 0.0123) {
+    if (a.convert_dc(v) != b.convert_dc(v)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(NonIdealities, NominalMeetsTableOne) {
+  // The headline check, asserted with generous margins so the test stays
+  // robust to re-calibration; bench/table1 prints the precise comparison.
+  ap::PipelineAdc adc(ap::nominal_design());
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 13;
+  const auto m = tb::run_dynamic_test(adc, opt).metrics;
+  EXPECT_NEAR(m.snr_db, 67.1, 1.5);
+  EXPECT_NEAR(m.sndr_db, 64.2, 1.5);
+  EXPECT_NEAR(m.sfdr_db, 69.4, 2.5);
+  EXPECT_NEAR(m.enob, 10.4, 0.25);
+}
+
+TEST(NonIdealities, FixedBiasSchemeStillConverts) {
+  auto cfg = ap::nominal_design();
+  cfg.bias_scheme = ap::BiasScheme::kFixed;
+  ap::PipelineAdc adc(cfg);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto m = tb::run_dynamic_test(adc, opt).metrics;
+  EXPECT_GT(m.enob, 9.5);
+  // And burns rate-independent current.
+  EXPECT_DOUBLE_EQ(adc.pipeline_bias_current(10e6), adc.pipeline_bias_current(140e6));
+}

@@ -1,0 +1,117 @@
+/// Property tests on the full converter: the redundancy boundary, noise
+/// monotonicity, and power scaling invariants.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/adc.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+
+namespace ap = adc::pipeline;
+namespace tb = adc::testbench;
+
+namespace {
+
+double enob_with_stage1_offset(double offset) {
+  ap::AdcConfig cfg = ap::ideal_design();
+  ap::PipelineAdc adc(cfg);
+  adc.stage_mutable(0).inject_comparator_offset(1, offset);
+  adc.stage_mutable(0).inject_comparator_offset(0, -offset);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  return tb::run_dynamic_test(adc, opt).metrics.enob;
+}
+
+}  // namespace
+
+/// The paper's redundancy claim, tested to the boundary: ADSC comparator
+/// offsets below V_REF/4 (250 mV here) are digitally corrected; beyond the
+/// boundary the converter breaks abruptly.
+class RedundancyBoundary : public ::testing::TestWithParam<double> {};
+
+TEST_P(RedundancyBoundary, OffsetsBelowQuarterVrefAreFree) {
+  const double offset = GetParam();
+  EXPECT_GT(enob_with_stage1_offset(offset), 11.9) << offset;
+}
+
+INSTANTIATE_TEST_SUITE_P(WithinRedundancy, RedundancyBoundary,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.15, 0.2, 0.24));
+
+class RedundancyViolation : public ::testing::TestWithParam<double> {};
+
+TEST_P(RedundancyViolation, OffsetsBeyondQuarterVrefBreakTheConverter) {
+  const double offset = GetParam();
+  EXPECT_LT(enob_with_stage1_offset(offset), 11.0) << offset;
+}
+
+INSTANTIATE_TEST_SUITE_P(BeyondRedundancy, RedundancyViolation,
+                         ::testing::Values(0.30, 0.40, 0.50));
+
+/// ENOB must be monotone non-increasing in every noise knob.
+class NoiseMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseMonotonicity, MoreThermalNoiseNeverHelps) {
+  const double excess = GetParam();
+  ap::AdcConfig cfg = ap::nominal_design();
+  cfg.enable = ap::NonIdealities::all_off();
+  cfg.enable.thermal_noise = true;
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+
+  cfg.stage.noise_excess = excess;
+  ap::PipelineAdc a(cfg);
+  const double snr_a = tb::run_dynamic_test(a, opt).metrics.snr_db;
+
+  cfg.stage.noise_excess = excess * 2.0;
+  ap::PipelineAdc b(cfg);
+  const double snr_b = tb::run_dynamic_test(b, opt).metrics.snr_db;
+
+  EXPECT_GT(snr_a, snr_b);
+  // And the 3 dB step for doubled noise power once thermal dominates.
+  if (excess >= 4.0) {
+    EXPECT_NEAR(snr_a - snr_b, 3.0, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Excess, NoiseMonotonicity, ::testing::Values(1.0, 4.0, 16.0));
+
+TEST(PowerScalingProperty, BiasCurrentLinearInRate) {
+  ap::PipelineAdc adc(ap::nominal_design());
+  const double i55 = adc.pipeline_bias_current(55e6);
+  const double i110 = adc.pipeline_bias_current(110e6);
+  const double i220 = adc.pipeline_bias_current(220e6);
+  EXPECT_NEAR(i110 / i55, 2.0, 1e-9);
+  EXPECT_NEAR(i220 / i110, 2.0, 1e-9);
+}
+
+TEST(PowerScalingProperty, ScalingPolicyOrdersPipelineCurrent) {
+  auto paper_cfg = ap::nominal_design();
+  auto uniform_cfg = ap::nominal_design();
+  uniform_cfg.scaling = ap::ScalingPolicy::uniform();
+  ap::PipelineAdc paper(paper_cfg);
+  ap::PipelineAdc uniform(uniform_cfg);
+  // Unscaled pipeline burns 10/4.33 = 2.3x the stage current.
+  EXPECT_NEAR(uniform.pipeline_bias_current(110e6) / paper.pipeline_bias_current(110e6),
+              10.0 / (13.0 / 3.0), 0.05);
+}
+
+TEST(AmplitudeProperty, MetricsDegradeGracefullyBelowFullScale) {
+  // At -6 dBFS the SNR drops by ~6 dB (noise is input-independent).
+  ap::PipelineAdc adc(ap::nominal_design());
+  tb::DynamicTestOptions full;
+  full.record_length = 1 << 12;
+  tb::DynamicTestOptions half = full;
+  half.amplitude_fraction = 0.4925;
+  const auto m_full = tb::run_dynamic_test(adc, full).metrics;
+  const auto m_half = tb::run_dynamic_test(adc, half).metrics;
+  EXPECT_NEAR(m_full.snr_db - m_half.snr_db, 6.0, 1.5);
+}
+
+TEST(LatencyProperty, StreamLatencyIndependentOfContent) {
+  ap::PipelineAdc adc(ap::nominal_design());
+  const adc::dsp::SineSignal a(0.9, 7.1e6);
+  const adc::dsp::SineSignal b(0.2, 31.7e6);
+  EXPECT_EQ(adc.convert_stream(a, 64).latency_cycles,
+            adc.convert_stream(b, 64).latency_cycles);
+}

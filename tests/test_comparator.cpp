@@ -1,0 +1,108 @@
+/// Unit tests for the dynamic-latch comparator model.
+#include "analog/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace aa = adc::analog;
+
+namespace {
+
+aa::ComparatorSpec clean_spec(double threshold) {
+  aa::ComparatorSpec s;
+  s.threshold = threshold;
+  s.sigma_offset = 0.0;
+  s.noise_rms = 0.0;
+  s.metastable_window = 0.0;
+  return s;
+}
+
+}  // namespace
+
+TEST(Comparator, CleanDecisionsAreDeterministic) {
+  adc::common::Rng rng(1);
+  aa::Comparator cmp(clean_spec(0.25), rng);
+  EXPECT_TRUE(cmp.decide(0.3));
+  EXPECT_FALSE(cmp.decide(0.2));
+  EXPECT_FALSE(cmp.decide(0.25));  // exactly at threshold: not above
+}
+
+TEST(Comparator, OffsetShiftsThreshold) {
+  adc::common::Rng rng(2);
+  aa::Comparator cmp(clean_spec(0.0), rng);
+  cmp.set_offset(0.05);
+  EXPECT_DOUBLE_EQ(cmp.effective_threshold(), 0.05);
+  EXPECT_FALSE(cmp.decide(0.04));
+  EXPECT_TRUE(cmp.decide(0.06));
+}
+
+TEST(Comparator, DrawnOffsetStatistics) {
+  aa::ComparatorSpec s = clean_spec(0.0);
+  s.sigma_offset = 10e-3;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  adc::common::Rng parent(3);
+  for (int i = 0; i < n; ++i) {
+    auto rng = parent.child("cmp", static_cast<std::uint64_t>(i));
+    const aa::Comparator cmp(s, rng);
+    sum += cmp.offset();
+    sum2 += cmp.offset() * cmp.offset();
+  }
+  const double mean = sum / n;
+  const double sigma = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.5e-3);
+  EXPECT_NEAR(sigma, 10e-3, 0.5e-3);
+}
+
+TEST(Comparator, NoiseFlipsNearThresholdOnly) {
+  aa::ComparatorSpec s = clean_spec(0.0);
+  s.noise_rms = 1e-3;
+  adc::common::Rng rng(4);
+  aa::Comparator cmp(s, rng);
+  // Far from threshold: always correct.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(cmp.decide(10e-3));
+    EXPECT_FALSE(cmp.decide(-10e-3));
+  }
+  // At the threshold: roughly a coin flip.
+  int ones = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (cmp.decide(0.0)) ++ones;
+  }
+  EXPECT_GT(ones, 1600);
+  EXPECT_LT(ones, 2400);
+}
+
+TEST(Comparator, MetastableWindowRandomizes) {
+  aa::ComparatorSpec s = clean_spec(0.0);
+  s.metastable_window = 1e-3;
+  adc::common::Rng rng(5);
+  aa::Comparator cmp(s, rng);
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (cmp.decide(0.5e-3)) ++ones;  // inside the window despite being > 0
+  }
+  EXPECT_GT(ones, 700);
+  EXPECT_LT(ones, 1300);
+  // Outside the window: deterministic again.
+  EXPECT_TRUE(cmp.decide(2e-3));
+}
+
+TEST(Comparator, DecideWithThresholdTracksReference) {
+  adc::common::Rng rng(6);
+  aa::Comparator cmp(clean_spec(0.25), rng);
+  // The stage passes vref/4 explicitly; a 1% low reference moves the code
+  // boundary accordingly.
+  EXPECT_TRUE(cmp.decide_with_threshold(0.249, 0.2475));
+  EXPECT_FALSE(cmp.decide_with_threshold(0.246, 0.2475));
+}
+
+TEST(Comparator, InvalidSpecThrows) {
+  adc::common::Rng rng(7);
+  aa::ComparatorSpec s = clean_spec(0.0);
+  s.noise_rms = -1.0;
+  EXPECT_THROW(aa::Comparator(s, rng), adc::common::ConfigError);
+}

@@ -1,0 +1,74 @@
+/// Tests for the CSV export utility.
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ac = adc::common;
+
+TEST(Csv, SerializesNumbers) {
+  ac::CsvTable t({"x", "y"});
+  t.add_row({1.0, 2.5});
+  t.add_row({110e6, 97e-3});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("x,y\n"), std::string::npos);
+  EXPECT_NE(s.find("1,2.5\n"), std::string::npos);
+  EXPECT_NE(s.find("110000000"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCells) {
+  ac::CsvTable t({"name", "note"});
+  t.add_text_row({"a,b", "he said \"hi\""});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, RowWidthChecked) {
+  ac::CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), ac::ConfigError);
+  EXPECT_THROW(t.add_text_row({"only"}), ac::ConfigError);
+}
+
+TEST(Csv, WritesAndReadsBackFile) {
+  ac::CsvTable t({"k", "v"});
+  t.add_row({1.0, 42.0});
+  const std::string path = "/tmp/adc_csv_test.csv";
+  t.write(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,42");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFailureThrows) {
+  ac::CsvTable t({"a"});
+  EXPECT_THROW(t.write("/nonexistent-dir/file.csv"), ac::ConfigError);
+}
+
+TEST(Csv, BenchDirRespectsEnvironment) {
+  unsetenv("ADC_BENCH_CSV_DIR");
+  EXPECT_FALSE(ac::bench_csv_dir().has_value());
+  ac::CsvTable t({"a"});
+  t.add_row({1.0});
+  EXPECT_FALSE(ac::write_bench_csv("unit_test", t).has_value());
+
+  setenv("ADC_BENCH_CSV_DIR", "/tmp", 1);
+  ASSERT_TRUE(ac::bench_csv_dir().has_value());
+  const auto path = ac::write_bench_csv("unit_test", t);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/tmp/unit_test.csv");
+  std::ifstream in(*path);
+  EXPECT_TRUE(in.good());
+  std::remove(path->c_str());
+  unsetenv("ADC_BENCH_CSV_DIR");
+}

@@ -1,0 +1,112 @@
+/// Failure-injection tests: broken blocks must produce the signatures a
+/// characterization bench would flag.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsp/linearity.hpp"
+#include "pipeline/adc.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/static_test.hpp"
+
+namespace ap = adc::pipeline;
+namespace tb = adc::testbench;
+
+TEST(FailureInjection, StuckComparatorKillsEnob) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  // Stage-1 upper comparator stuck low (offset far above the range).
+  adc.stage_mutable(0).inject_comparator_offset(1, 10.0);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto m = tb::run_dynamic_test(adc, opt).metrics;
+  EXPECT_LT(m.enob, 9.0);
+}
+
+TEST(FailureInjection, StuckComparatorTruncatesTheRange) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  adc.stage_mutable(0).inject_comparator_offset(1, 10.0);
+  // With the stage-1 upper comparator stuck low, positive inputs above
+  // V_REF/4 leave a residue of 2v that the opamp swing clips: the transfer
+  // saturates early and the top of the code range is unreachable.
+  int max_code = 0;
+  for (double v = -1.05; v <= 1.05; v += 0.001) {
+    max_code = std::max(max_code, adc.convert_dc(v));
+  }
+  EXPECT_LT(max_code, 4000);
+  // A healthy die reaches 4095.
+  ap::PipelineAdc healthy(ap::ideal_design());
+  EXPECT_EQ(healthy.convert_dc(1.05), 4095);
+}
+
+TEST(FailureInjection, OpampGainCollapseDegradesLinearity) {
+  ap::AdcConfig cfg = ap::ideal_design();
+  cfg.enable.finite_opamp_gain = true;
+  cfg.stage.opamp.dc_gain = 200.0;  // a failed two-stage opamp
+  ap::PipelineAdc adc(cfg);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto m = tb::run_dynamic_test(adc, opt).metrics;
+  EXPECT_LT(m.enob, 10.0);
+  EXPECT_LT(m.sfdr_db, 65.0);
+}
+
+TEST(FailureInjection, ReferenceErrorIsPureGainError) {
+  // A 5 % low reference rescales the transfer but costs no linearity: the
+  // DAC, ADSC thresholds and flash all track it.
+  ap::AdcConfig cfg = ap::ideal_design();
+  cfg.refs.nominal_vref = 0.95;
+  ap::PipelineAdc adc(cfg);
+  // Mid-scale unchanged.
+  EXPECT_NEAR(adc.convert_dc(0.0), 2048, 1);
+  // The code for 0.5 V moves by the gain factor.
+  const int code = adc.convert_dc(0.5);
+  EXPECT_NEAR(code, 2048 + static_cast<int>(0.5 / 0.95 * 2048.0), 2);
+  // Linearity intact.
+  const auto edges = tb::extract_transfer_edges(adc, 30);
+  const auto lin = adc::dsp::edges_linearity(edges, 12);
+  EXPECT_LT(std::abs(lin.inl_max), 0.1);
+}
+
+TEST(FailureInjection, StarvedBiasBreaksSettling) {
+  // A broken mirror (1/20 of the intended current) leaves residues far from
+  // settled: massive distortion.
+  ap::AdcConfig cfg = ap::ideal_design();
+  cfg.enable.incomplete_settling = true;
+  cfg.mirror_master_gain = 0.5;  // instead of 10
+  ap::PipelineAdc adc(cfg);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto m = tb::run_dynamic_test(adc, opt).metrics;
+  EXPECT_LT(m.enob, 8.0);
+}
+
+TEST(FailureInjection, MassiveLeakageVisibleEvenAtSpeed) {
+  ap::AdcConfig cfg = ap::ideal_design();
+  cfg.enable.hold_leakage = true;
+  cfg.stage.leakage.i0 = 1e-6;  // a resistive defect, not junction leakage
+  ap::PipelineAdc adc(cfg);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto m = tb::run_dynamic_test(adc, opt).metrics;
+  EXPECT_LT(m.sfdr_db, 80.0);
+}
+
+TEST(FailureInjection, DeadStageDetectableInHistogram) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  // Both stage-3 comparators stuck: the stage always outputs code 0.
+  adc.stage_mutable(2).inject_comparator_offset(0, -10.0);
+  adc.stage_mutable(2).inject_comparator_offset(1, 10.0);
+  tb::HistogramTestOptions opt;
+  opt.samples = 1 << 18;
+  bool failed_somehow = false;
+  try {
+    const auto lin = tb::run_histogram_test(adc, opt);
+    failed_somehow = !lin.missing_codes.empty() || lin.dnl_max > 0.8;
+  } catch (const adc::common::MeasurementError&) {
+    failed_somehow = true;  // end codes unreachable also counts as detection
+  }
+  EXPECT_TRUE(failed_somehow);
+}

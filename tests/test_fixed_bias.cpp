@@ -1,0 +1,57 @@
+/// Unit tests for the conventional fixed bias generator (ablation baseline).
+#include "bias/fixed_bias.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace ab = adc::bias;
+
+TEST(FixedBias, RateIndependent) {
+  ab::FixedBiasSpec spec;
+  spec.design_current = 1e-3;
+  spec.margin = 1.35;
+  spec.sigma_process = 0.0;
+  adc::common::Rng rng(1);
+  const ab::FixedBiasGenerator gen(spec, rng);
+  EXPECT_DOUBLE_EQ(gen.master_current(10e6), gen.master_current(200e6));
+  EXPECT_DOUBLE_EQ(gen.master_current(110e6), 1.35e-3);
+}
+
+TEST(FixedBias, MarginBurnsPowerAtLowRates) {
+  // The paper's argument for eq. (1): the fixed generator delivers its
+  // worst-case current even at 20 MS/s, where the SC generator delivers 5.5x
+  // less.
+  ab::FixedBiasSpec spec;
+  spec.design_current = 1e-3;
+  spec.margin = 1.35;
+  spec.sigma_process = 0.0;
+  adc::common::Rng rng(2);
+  const ab::FixedBiasGenerator gen(spec, rng);
+  const double sc_like_at_20 = 1e-3 * 20e6 / 110e6;
+  EXPECT_GT(gen.master_current(20e6), 7.0 * sc_like_at_20);
+}
+
+TEST(FixedBias, ProcessSpreadApplied) {
+  ab::FixedBiasSpec spec;
+  spec.design_current = 1e-3;
+  spec.margin = 1.0;
+  spec.sigma_process = 0.10;
+  adc::common::Rng a(3);
+  adc::common::Rng b(3);
+  EXPECT_DOUBLE_EQ(ab::FixedBiasGenerator(spec, a).master_current(1.0),
+                   ab::FixedBiasGenerator(spec, b).master_current(1.0));
+  adc::common::Rng c(4);
+  EXPECT_NE(ab::FixedBiasGenerator(spec, c).master_current(1.0), 1e-3);
+}
+
+TEST(FixedBias, InvalidSpecThrows) {
+  ab::FixedBiasSpec spec;
+  spec.design_current = 0.0;
+  adc::common::Rng rng(5);
+  EXPECT_THROW(ab::FixedBiasGenerator(spec, rng), adc::common::ConfigError);
+  spec.design_current = 1e-3;
+  spec.margin = 0.5;
+  EXPECT_THROW(ab::FixedBiasGenerator(spec, rng), adc::common::ConfigError);
+}

@@ -1,0 +1,37 @@
+/// Unit tests for the figures of merit (the paper's eq. 2 and Walden).
+#include "power/fom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pw = adc::power;
+
+TEST(PaperFm, TableOneValue) {
+  // FM = 2^10.4 * 110 / (0.86 * 97) ~ 1781 with the paper's units
+  // (MS/s, mm^2, mW).
+  const double fm = pw::paper_fm(10.4, 110e6, 0.86e-6, 97e-3);
+  EXPECT_NEAR(fm, 1781.0, 10.0);
+}
+
+TEST(PaperFm, UnitConventions) {
+  // Doubling the area or the power halves FM; doubling the rate doubles it.
+  const double base = pw::paper_fm(10.0, 100e6, 1e-6, 100e-3);
+  EXPECT_NEAR(pw::paper_fm(10.0, 200e6, 1e-6, 100e-3), 2.0 * base, 1e-9);
+  EXPECT_NEAR(pw::paper_fm(10.0, 100e6, 2e-6, 100e-3), base / 2.0, 1e-9);
+  EXPECT_NEAR(pw::paper_fm(10.0, 100e6, 1e-6, 200e-3), base / 2.0, 1e-9);
+  // One extra effective bit doubles FM.
+  EXPECT_NEAR(pw::paper_fm(11.0, 100e6, 1e-6, 100e-3), 2.0 * base, 1e-9);
+}
+
+TEST(WaldenFom, PaperOperatingPoint) {
+  // 97 mW / (2^10.4 * 110 MS/s) = 0.65 pJ/step.
+  EXPECT_NEAR(pw::walden_pj_per_step(10.4, 110e6, 97e-3), 0.653, 0.01);
+  EXPECT_NEAR(pw::walden_energy_per_step(10.4, 110e6, 97e-3), 0.653e-12, 1e-14);
+}
+
+TEST(Fom, RejectsNonPositive) {
+  EXPECT_THROW((void)pw::paper_fm(10.0, 0.0, 1e-6, 0.1), adc::common::ConfigError);
+  EXPECT_THROW((void)pw::paper_fm(10.0, 1e8, -1e-6, 0.1), adc::common::ConfigError);
+  EXPECT_THROW((void)pw::walden_energy_per_step(10.0, 1e8, 0.0), adc::common::ConfigError);
+}

@@ -1,0 +1,55 @@
+/// Unit tests for output-word format conversions.
+#include "digital/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ad = adc::digital;
+
+TEST(Format, OffsetBinaryToTwosComplement) {
+  EXPECT_EQ(ad::twos_complement_from_offset_binary(0, 12), -2048);
+  EXPECT_EQ(ad::twos_complement_from_offset_binary(2048, 12), 0);
+  EXPECT_EQ(ad::twos_complement_from_offset_binary(4095, 12), 2047);
+}
+
+TEST(Format, TwosComplementToOffsetBinary) {
+  EXPECT_EQ(ad::offset_binary_from_twos_complement(-2048, 12), 0);
+  EXPECT_EQ(ad::offset_binary_from_twos_complement(0, 12), 2048);
+  EXPECT_EQ(ad::offset_binary_from_twos_complement(2047, 12), 4095);
+}
+
+TEST(Format, RangeChecks) {
+  EXPECT_THROW((void)ad::twos_complement_from_offset_binary(-1, 12),
+               adc::common::ConfigError);
+  EXPECT_THROW((void)ad::twos_complement_from_offset_binary(4096, 12),
+               adc::common::ConfigError);
+  EXPECT_THROW((void)ad::offset_binary_from_twos_complement(2048, 12),
+               adc::common::ConfigError);
+}
+
+TEST(Format, GrayAdjacentCodesDifferInOneBit) {
+  for (std::uint32_t c = 0; c < 4095; ++c) {
+    const auto g1 = ad::gray_from_binary(c);
+    const auto g2 = ad::gray_from_binary(c + 1);
+    EXPECT_EQ(__builtin_popcount(g1 ^ g2), 1) << c;
+  }
+}
+
+TEST(Format, GrayRoundTripExhaustive12Bit) {
+  for (std::uint32_t c = 0; c < 4096; ++c) {
+    EXPECT_EQ(ad::binary_from_gray(ad::gray_from_binary(c)), c);
+  }
+}
+
+class TwosComplementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwosComplementSweep, RoundTripAllCodes) {
+  const int bits = GetParam();
+  for (int code = 0; code < (1 << bits); ++code) {
+    const int tc = ad::twos_complement_from_offset_binary(code, bits);
+    EXPECT_EQ(ad::offset_binary_from_twos_complement(tc, bits), code);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, TwosComplementSweep, ::testing::Values(4, 8, 12));

@@ -1,0 +1,159 @@
+/// Unit tests for DNL/INL extraction (histogram and edge-based).
+#include "dsp/linearity.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace ad = adc::dsp;
+
+namespace {
+
+/// Quantize a voltage in [-1, 1] with an ideal `bits` quantizer.
+int ideal_code(double v, int bits) {
+  const double levels = std::pow(2.0, bits);
+  auto code = static_cast<int>(std::floor((v + 1.0) / 2.0 * levels));
+  if (code < 0) code = 0;
+  if (code >= static_cast<int>(levels)) code = static_cast<int>(levels) - 1;
+  return code;
+}
+
+/// Codes from an overdriving sine through an ideal quantizer.
+std::vector<int> ideal_sine_codes(int bits, std::size_t n, double amplitude) {
+  std::vector<int> codes(n);
+  // Incommensurate frequency for uniform phase coverage.
+  const double w = 2.0 * std::numbers::pi * 0.38196601125010515;
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = ideal_code(amplitude * std::sin(w * static_cast<double>(i)), bits);
+  }
+  return codes;
+}
+
+}  // namespace
+
+TEST(HistogramLinearity, IdealQuantizerHasZeroDnl) {
+  const auto codes = ideal_sine_codes(8, 1 << 20, 1.05);
+  const auto r = ad::histogram_linearity(codes, 8);
+  EXPECT_LT(r.dnl_max, 0.05);
+  EXPECT_GT(r.dnl_min, -0.05);
+  EXPECT_LT(r.inl_max, 0.08);
+  EXPECT_GT(r.inl_min, -0.08);
+  EXPECT_TRUE(r.missing_codes.empty());
+}
+
+TEST(HistogramLinearity, AmplitudeIndependent) {
+  // The arcsine correction must remove the sine's density for any overdrive.
+  for (double a : {1.02, 1.2, 1.6}) {
+    const auto codes = ideal_sine_codes(6, 1 << 18, a);
+    const auto r = ad::histogram_linearity(codes, 6);
+    EXPECT_LT(std::abs(r.dnl_max), 0.08) << "amplitude " << a;
+    EXPECT_LT(std::abs(r.dnl_min), 0.08) << "amplitude " << a;
+  }
+}
+
+TEST(HistogramLinearity, DetectsWideCode) {
+  // Make code 100 twice as wide by stealing code 101 entirely.
+  const auto raw = ideal_sine_codes(8, 1 << 20, 1.05);
+  std::vector<int> codes = raw;
+  for (auto& c : codes) {
+    if (c == 101) c = 100;
+  }
+  const auto r = ad::histogram_linearity(codes, 8);
+  EXPECT_NEAR(r.dnl[100], 1.0, 0.15);  // double width
+  EXPECT_NEAR(r.dnl[101], -1.0, 0.05);  // missing
+  ASSERT_FALSE(r.missing_codes.empty());
+  EXPECT_EQ(r.missing_codes[0], 101);
+}
+
+TEST(HistogramLinearity, RequiresOverdrive) {
+  const auto codes = ideal_sine_codes(8, 1 << 16, 0.8);  // never reaches the ends
+  EXPECT_THROW((void)ad::histogram_linearity(codes, 8), adc::common::MeasurementError);
+}
+
+TEST(HistogramLinearity, RejectsBadInput) {
+  EXPECT_THROW((void)ad::histogram_linearity(std::vector<int>{}, 8),
+               adc::common::ConfigError);
+  const std::vector<int> out_of_range{0, 1, 256};
+  EXPECT_THROW((void)ad::histogram_linearity(out_of_range, 8), adc::common::ConfigError);
+}
+
+TEST(EdgesLinearity, UniformEdgesAreZeroDnl) {
+  const int bits = 8;
+  std::vector<double> edges;
+  for (int k = 1; k < 256; ++k) edges.push_back(static_cast<double>(k));
+  const auto r = ad::edges_linearity(edges, bits);
+  EXPECT_NEAR(r.dnl_max, 0.0, 1e-9);
+  EXPECT_NEAR(r.dnl_min, 0.0, 1e-9);
+  EXPECT_NEAR(r.inl_max, 0.0, 1e-9);
+}
+
+TEST(EdgesLinearity, KnownDnlRecovered) {
+  // Code 10 is 1.5 LSB wide, code 11 is 0.5 LSB wide; everything else 1 LSB.
+  const int bits = 6;
+  std::vector<double> edges;
+  double x = 0.0;
+  for (int k = 1; k < 64; ++k) {
+    double width = 1.0;
+    if (k - 1 == 10) width = 1.5;
+    if (k - 1 == 11) width = 0.5;
+    x += width;
+    edges.push_back(x);
+  }
+  const auto r = ad::edges_linearity(edges, bits);
+  // The average interior width is slightly off 1.0, but the two codes stand out.
+  EXPECT_NEAR(r.dnl[10], 0.5, 0.02);
+  EXPECT_NEAR(r.dnl[11], -0.5, 0.02);
+}
+
+TEST(EdgesLinearity, GainErrorRemovedByEndpointCorrection) {
+  // A pure gain error (all widths scaled by 1.1) has zero DNL and zero INL.
+  const int bits = 6;
+  std::vector<double> edges;
+  for (int k = 1; k < 64; ++k) edges.push_back(1.1 * static_cast<double>(k));
+  const auto r = ad::edges_linearity(edges, bits);
+  EXPECT_NEAR(r.dnl_max, 0.0, 1e-9);
+  EXPECT_NEAR(r.inl_max, 0.0, 1e-9);
+}
+
+TEST(EdgesLinearity, BowShowsInInl) {
+  // Smooth quadratic bow in the transfer: INL-dominant, small DNL.
+  const int bits = 8;
+  std::vector<double> edges;
+  for (int k = 1; k < 256; ++k) {
+    const double t = static_cast<double>(k) / 256.0;
+    edges.push_back(static_cast<double>(k) + 4.0 * t * (1.0 - t));  // +1 LSB bow
+  }
+  const auto r = ad::edges_linearity(edges, bits);
+  EXPECT_GT(r.inl_max, 0.8);
+  EXPECT_LT(r.dnl_max, 0.1);
+}
+
+TEST(EdgesLinearity, SizeMismatchThrows) {
+  const std::vector<double> edges(100, 1.0);
+  EXPECT_THROW((void)ad::edges_linearity(edges, 8), adc::common::ConfigError);
+}
+
+TEST(Monotonicity, DetectsDecrease) {
+  EXPECT_TRUE(ad::is_monotonic(std::vector<int>{0, 0, 1, 2, 2, 3}));
+  EXPECT_FALSE(ad::is_monotonic(std::vector<int>{0, 1, 3, 2}));
+  EXPECT_TRUE(ad::is_monotonic(std::vector<int>{}));
+}
+
+class HistogramResolutionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramResolutionSweep, IdealIsCleanAcrossResolutions) {
+  const int bits = GetParam();
+  const auto codes = ideal_sine_codes(bits, 1 << 19, 1.1);
+  const auto r = ad::histogram_linearity(codes, bits);
+  EXPECT_EQ(r.bits, bits);
+  EXPECT_LT(std::abs(r.dnl_max), 0.15);
+  EXPECT_TRUE(r.missing_codes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, HistogramResolutionSweep,
+                         ::testing::Values(4, 6, 8, 10));

@@ -1,0 +1,80 @@
+/// Tests for the Monte-Carlo yield runner.
+#include "testbench/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+
+namespace ap = adc::pipeline;
+namespace tb = adc::testbench;
+
+namespace {
+
+double quick_sndr(ap::PipelineAdc& adc) {
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 11;
+  return tb::run_dynamic_test(adc, opt).metrics.sndr_db;
+}
+
+}  // namespace
+
+TEST(MonteCarlo, StatsAndDeterminism) {
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 8;
+  opt.first_seed = 500;
+  const auto a = tb::run_monte_carlo(ap::nominal_design(), quick_sndr, opt);
+  const auto b = tb::run_monte_carlo(ap::nominal_design(), quick_sndr, opt);
+  ASSERT_EQ(a.values.size(), 8u);
+  EXPECT_EQ(a.values, b.values);  // same seeds -> same dies -> same metrics
+  EXPECT_GE(a.max, a.mean);
+  EXPECT_LE(a.min, a.mean);
+  EXPECT_GE(a.std_dev, 0.0);
+}
+
+TEST(MonteCarlo, DiesActuallyDiffer) {
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 6;
+  const auto r = tb::run_monte_carlo(ap::nominal_design(), quick_sndr, opt);
+  EXPECT_GT(r.max - r.min, 0.01);  // mismatch draws differ between dies
+  EXPECT_LT(r.max - r.min, 5.0);   // but the design is production-worthy
+}
+
+TEST(MonteCarlo, YieldAccounting) {
+  tb::MonteCarloResult r;
+  r.values = {60.0, 62.0, 64.0, 66.0};
+  EXPECT_DOUBLE_EQ(r.yield_at_least(63.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.yield_at_least(59.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.yield_at_most(61.0), 0.25);
+  EXPECT_DOUBLE_EQ(tb::MonteCarloResult{}.yield_at_least(0.0), 0.0);
+}
+
+TEST(MonteCarlo, SingleThreadMatchesParallel) {
+  tb::MonteCarloOptions serial;
+  serial.num_dies = 5;
+  serial.threads = 1;
+  tb::MonteCarloOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = tb::run_monte_carlo(ap::nominal_design(), quick_sndr, serial);
+  const auto b = tb::run_monte_carlo(ap::nominal_design(), quick_sndr, parallel);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(MonteCarlo, RejectsBadInput) {
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 0;
+  EXPECT_THROW((void)tb::run_monte_carlo(ap::nominal_design(), quick_sndr, opt),
+               adc::common::ConfigError);
+  opt.num_dies = 1;
+  EXPECT_THROW((void)tb::run_monte_carlo(ap::nominal_design(), nullptr, opt),
+               adc::common::ConfigError);
+}
+
+TEST(MonteCarlo, IdealDiesAreIdentical) {
+  // Without Monte-Carlo draws every seed fabricates the same (perfect) die.
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 4;
+  const auto r = tb::run_monte_carlo(ap::ideal_design(), quick_sndr, opt);
+  EXPECT_NEAR(r.max - r.min, 0.0, 1e-9);
+}

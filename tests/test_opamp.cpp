@@ -1,0 +1,162 @@
+/// Unit tests for the two-stage Miller opamp macromodel.
+#include "analog/opamp.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aa = adc::analog;
+
+namespace {
+
+aa::OpampParams nominal() {
+  aa::OpampParams p;
+  p.dc_gain = 10000.0;
+  p.gbw_hz = 800e6;
+  p.slew_rate = 1.5e9;
+  p.bias_nominal = 8e-3;
+  p.output_swing = 1.45;
+  p.gm_compression = 0.0;  // enable per test
+  return p;
+}
+
+}  // namespace
+
+TEST(Opamp, StaticErrorMatchesFiniteGain) {
+  const aa::Opamp amp(nominal());
+  const double beta = 0.45;
+  // Settle "forever": only the static term remains.
+  const auto r = amp.settle(1.0, 1.0, beta, 8e-3);
+  const double expected = 1.0 / (1.0 + 1.0 / (10000.0 * beta));
+  EXPECT_NEAR(r.output, expected, 1e-12);
+  EXPECT_NEAR(r.static_error, 1.0 - expected, 1e-12);
+  EXPECT_NEAR(r.dynamic_error, 0.0, 1e-12);
+}
+
+TEST(Opamp, LinearSettlingIsExponential) {
+  auto p = nominal();
+  p.slew_rate = 1e12;  // never slews
+  const aa::Opamp amp(p);
+  const double beta = 0.45;
+  const double tau = amp.time_constant(beta, p.bias_nominal);
+  const double target = 0.5;
+  for (double nt : {2.0, 5.0, 9.0}) {
+    const auto r = amp.settle(target, nt * tau, beta, p.bias_nominal);
+    const double expect_err = target * std::exp(-nt) /
+                              (1.0 + 1.0 / (p.dc_gain * beta));
+    EXPECT_NEAR(std::abs(r.dynamic_error), expect_err, 0.02 * expect_err) << nt;
+    EXPECT_FALSE(r.slew_limited);
+  }
+}
+
+TEST(Opamp, TimeConstantFormula) {
+  const aa::Opamp amp(nominal());
+  const double tau = amp.time_constant(0.5, 8e-3);
+  EXPECT_NEAR(tau, 1.0 / (2.0 * std::numbers::pi * 0.5 * 800e6), 1e-15);
+}
+
+TEST(Opamp, GbwScalesAsSqrtBias) {
+  const aa::Opamp amp(nominal());
+  EXPECT_NEAR(amp.gbw_at_bias(8e-3), 800e6, 1.0);
+  EXPECT_NEAR(amp.gbw_at_bias(2e-3), 400e6, 1.0);  // I/4 -> GBW/2
+  EXPECT_DOUBLE_EQ(amp.gbw_at_bias(0.0), 0.0);
+}
+
+TEST(Opamp, SlewScalesLinearlyWithBias) {
+  const aa::Opamp amp(nominal());
+  EXPECT_NEAR(amp.slew_at_bias(4e-3), 0.75e9, 1.0);
+  EXPECT_DOUBLE_EQ(amp.slew_at_bias(0.0), 0.0);
+}
+
+TEST(Opamp, SlewLimitedRegimeDetected) {
+  auto p = nominal();
+  p.slew_rate = 2e8;  // slow: SR*tau << 1 V steps
+  const aa::Opamp amp(p);
+  const double beta = 0.45;
+  const double tau = amp.time_constant(beta, p.bias_nominal);
+  const auto r = amp.settle(1.0, 5.0 * tau, beta, p.bias_nominal);
+  EXPECT_TRUE(r.slew_limited);
+  // Mid-slew sampling: the output is SR * t.
+  const auto mid = amp.settle(1.0, 1e-9, beta, p.bias_nominal);
+  EXPECT_TRUE(mid.slew_limited);
+  EXPECT_NEAR(mid.output, 2e8 * 1e-9, 1e-3);
+}
+
+TEST(Opamp, SlewedSettlingWorseThanLinear) {
+  auto fast = nominal();
+  fast.slew_rate = 1e12;
+  auto slow = nominal();
+  slow.slew_rate = 3e8;
+  const double beta = 0.45;
+  const double ts = 4e-9;
+  const auto r_fast = aa::Opamp(fast).settle(1.0, ts, beta, 8e-3);
+  const auto r_slow = aa::Opamp(slow).settle(1.0, ts, beta, 8e-3);
+  EXPECT_GT(std::abs(r_slow.dynamic_error), std::abs(r_fast.dynamic_error));
+}
+
+TEST(Opamp, OutputClips) {
+  const aa::Opamp amp(nominal());
+  const auto r = amp.settle(2.5, 1.0, 0.45, 8e-3);
+  EXPECT_TRUE(r.clipped);
+  EXPECT_DOUBLE_EQ(r.output, 1.45);
+  const auto rn = amp.settle(-2.5, 1.0, 0.45, 8e-3);
+  EXPECT_DOUBLE_EQ(rn.output, -1.45);
+}
+
+TEST(Opamp, GmCompressionIsSignalDependent) {
+  auto p = nominal();
+  p.gm_compression = 0.3;
+  const aa::Opamp amp(p);
+  const double beta = 0.45;
+  const double ts = 4e-9;
+  // Relative settling error grows with amplitude when compression is on.
+  const auto small = amp.settle(0.1, ts, beta, p.bias_nominal);
+  const auto large = amp.settle(1.0, ts, beta, p.bias_nominal);
+  const double rel_small = std::abs(small.dynamic_error) / 0.1;
+  const double rel_large = std::abs(large.dynamic_error) / 1.0;
+  EXPECT_GT(rel_large, 1.5 * rel_small);
+}
+
+TEST(Opamp, NegativeTargetsSymmetric) {
+  const aa::Opamp amp(nominal());
+  const auto pos = amp.settle(0.8, 3e-9, 0.45, 8e-3);
+  const auto neg = amp.settle(-0.8, 3e-9, 0.45, 8e-3);
+  EXPECT_NEAR(pos.output, -neg.output, 1e-12);
+}
+
+TEST(Opamp, LowerBiasSettlesWorse) {
+  const aa::Opamp amp(nominal());
+  // The Fig. 5 mechanism: at reduced bias (lower rate, or fixed-bias corner)
+  // the same settling window leaves more error.
+  const auto full = amp.settle(1.0, 3e-9, 0.45, 8e-3);
+  const auto half = amp.settle(1.0, 3e-9, 0.45, 2e-3);
+  EXPECT_GT(std::abs(half.dynamic_error), std::abs(full.dynamic_error));
+}
+
+TEST(Opamp, InvalidParamsThrow) {
+  auto p = nominal();
+  p.dc_gain = 0.5;
+  EXPECT_THROW(aa::Opamp{p}, adc::common::ConfigError);
+  p = nominal();
+  p.gbw_hz = -1.0;
+  EXPECT_THROW(aa::Opamp{p}, adc::common::ConfigError);
+  const aa::Opamp ok(nominal());
+  EXPECT_THROW((void)ok.settle(1.0, 1e-9, 0.0, 8e-3), adc::common::ConfigError);
+  EXPECT_THROW((void)ok.settle(1.0, 1e-9, 1.5, 8e-3), adc::common::ConfigError);
+}
+
+class SettlingTimeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SettlingTimeSweep, ErrorMonotoneDecreasingInTime) {
+  const aa::Opamp amp(nominal());
+  const double ts = GetParam();
+  const auto r1 = amp.settle(1.0, ts, 0.45, 8e-3);
+  const auto r2 = amp.settle(1.0, 1.5 * ts, 0.45, 8e-3);
+  EXPECT_LE(std::abs(r2.dynamic_error), std::abs(r1.dynamic_error) + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, SettlingTimeSweep,
+                         ::testing::Values(0.5e-9, 1e-9, 2e-9, 4e-9, 8e-9));

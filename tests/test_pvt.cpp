@@ -1,0 +1,101 @@
+/// Tests for the PVT (process/voltage/temperature) environment knobs.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pipeline/adc.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/sweep.hpp"
+
+namespace ap = adc::pipeline;
+namespace tb = adc::testbench;
+
+namespace {
+
+double sndr_at(ap::AdcConfig cfg, double fin = 10e6) {
+  ap::PipelineAdc adc(cfg);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  opt.target_fin_hz = fin;
+  return tb::run_dynamic_test(adc, opt).metrics.sndr_db;
+}
+
+double snr_at(ap::AdcConfig cfg) {
+  ap::PipelineAdc adc(cfg);
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  return tb::run_dynamic_test(adc, opt).metrics.snr_db;
+}
+
+}  // namespace
+
+TEST(Pvt, HotDieIsNoisier) {
+  // kT/C: 398 K vs 300 K is +1.2 dB of thermal noise power.
+  auto cold = ap::nominal_design();
+  auto hot = ap::nominal_design();
+  hot.temperature_k = 398.0;
+  EXPECT_GT(snr_at(cold), snr_at(hot) + 0.2);
+}
+
+TEST(Pvt, HotDieDroopsSoonerAtLowRates) {
+  // Junction leakage doubles every ~10 K: at 398 K it is ~900x the 300 K
+  // value, so the Fig. 5 low-rate SFDR corner moves right.
+  auto hot = ap::nominal_design();
+  hot.temperature_k = 398.0;
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto cold_pts = tb::sweep_conversion_rate(ap::nominal_design(), {20e6}, opt);
+  const auto hot_pts = tb::sweep_conversion_rate(hot, {20e6}, opt);
+  EXPECT_LT(hot_pts[0].result.metrics.sfdr_db,
+            cold_pts[0].result.metrics.sfdr_db - 3.0);
+}
+
+TEST(Pvt, HotDieLosesSettlingMarginAtSpeed) {
+  // Mobility ~T^-1.5 lowers GBW ~34 % at 398 K: the high-rate SNDR corner
+  // moves left.
+  auto hot = ap::nominal_design();
+  hot.temperature_k = 398.0;
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto cold_pts = tb::sweep_conversion_rate(ap::nominal_design(), {160e6}, opt);
+  const auto hot_pts = tb::sweep_conversion_rate(hot, {160e6}, opt);
+  EXPECT_LT(hot_pts[0].result.metrics.sndr_db,
+            cold_pts[0].result.metrics.sndr_db - 1.0);
+}
+
+TEST(Pvt, ColdDieIsFine) {
+  auto cold = ap::nominal_design();
+  cold.temperature_k = 233.0;
+  EXPECT_GT(sndr_at(cold), 63.5);
+}
+
+TEST(Pvt, SupplyVariationIsAsymmetric) {
+  // The bandgap holds the references (2 mV/V sensitivity), so the supply
+  // mostly acts on the *switch overdrive*: +10 % VDD is free, while -10 %
+  // VDD visibly strains the un-bootstrapped transmission gates — the very
+  // low-voltage headache the paper's bulk switching addresses.
+  auto high = ap::nominal_design();
+  high.vdd = 1.98;
+  high.input_switch.vdd = 1.98;
+  EXPECT_GT(sndr_at(high), 63.5);
+  auto low = ap::nominal_design();
+  low.vdd = 1.62;
+  low.input_switch.vdd = 1.62;
+  EXPECT_GT(sndr_at(low), 59.0);         // still >9.5 ENOB
+  EXPECT_LT(sndr_at(low), sndr_at(high));  // but the strain is real
+}
+
+TEST(Pvt, NominalTemperatureIsNeutral) {
+  auto a = ap::nominal_design();
+  auto b = ap::nominal_design();
+  b.temperature_k = 300.0;
+  EXPECT_DOUBLE_EQ(sndr_at(a), sndr_at(b));
+}
+
+TEST(Pvt, RejectsAbsurdTemperatures) {
+  auto cfg = ap::nominal_design();
+  cfg.temperature_k = 50.0;
+  EXPECT_THROW(ap::PipelineAdc{cfg}, adc::common::ConfigError);
+  cfg.temperature_k = 700.0;
+  EXPECT_THROW(ap::PipelineAdc{cfg}, adc::common::ConfigError);
+}

@@ -1,0 +1,101 @@
+/// Unit tests for table/plot rendering and the paper-comparison blocks.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testbench/compare.hpp"
+#include "testbench/report.hpp"
+
+namespace tb = adc::testbench;
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  tb::AsciiTable table({"metric", "value"});
+  table.add_row({"SNR", "67.1 dB"});
+  table.add_row({"a-longer-metric-name", "1"});
+  const auto s = table.render();
+  EXPECT_NE(s.find("| metric"), std::string::npos);
+  EXPECT_NE(s.find("| SNR"), std::string::npos);
+  EXPECT_NE(s.find("a-longer-metric-name"), std::string::npos);
+  // Every data line has the same width.
+  std::size_t first_len = s.find('\n');
+  for (std::size_t pos = 0; pos < s.size();) {
+    const auto next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTable, CellCountMismatchThrows) {
+  tb::AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), adc::common::ConfigError);
+}
+
+TEST(AsciiTable, NumberFormatting) {
+  EXPECT_EQ(tb::AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(tb::AsciiTable::num(-1.0, 0), "-1");
+  EXPECT_EQ(tb::AsciiTable::eng(97e-3, "W"), "97.0 mW");
+  EXPECT_EQ(tb::AsciiTable::eng(110e6, "Hz"), "110.0 MHz");
+  EXPECT_EQ(tb::AsciiTable::eng(0.55e-12, "F", 2), "550.00 fF");
+}
+
+TEST(RenderPlot, ContainsSymbolsAxesAndLegend) {
+  tb::PlotSeries s;
+  s.label = "power";
+  s.symbol = 'o';
+  s.x = {10.0, 60.0, 110.0};
+  s.y = {28.0, 62.0, 97.0};
+  tb::PlotOptions opt;
+  opt.title = "Fig 4";
+  opt.x_label = "MS/s";
+  const auto plot = tb::render_plot(std::vector<tb::PlotSeries>{s}, opt);
+  EXPECT_NE(plot.find("Fig 4"), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("legend:"), std::string::npos);
+  EXPECT_NE(plot.find("o = power"), std::string::npos);
+  EXPECT_NE(plot.find("MS/s"), std::string::npos);
+}
+
+TEST(RenderPlot, MultiSeriesUsesDistinctSymbols) {
+  tb::PlotSeries a{"snr", 's', {1.0, 2.0}, {60.0, 61.0}};
+  tb::PlotSeries b{"sfdr", 'f', {1.0, 2.0}, {70.0, 71.0}};
+  const auto plot =
+      tb::render_plot(std::vector<tb::PlotSeries>{a, b}, tb::PlotOptions{});
+  EXPECT_NE(plot.find('s'), std::string::npos);
+  EXPECT_NE(plot.find('f'), std::string::npos);
+}
+
+TEST(RenderPlot, LogAxesWork) {
+  tb::PlotSeries s{"fm", '*', {0.1, 1.0, 10.0}, {1.0, 100.0, 10000.0}};
+  tb::PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  const auto plot = tb::render_plot(std::vector<tb::PlotSeries>{s}, opt);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(RenderPlot, LogAxisRejectsNonPositive) {
+  tb::PlotSeries s{"bad", '*', {-1.0, 1.0}, {1.0, 2.0}};
+  tb::PlotOptions opt;
+  opt.log_x = true;
+  EXPECT_THROW((void)tb::render_plot(std::vector<tb::PlotSeries>{s}, opt),
+               adc::common::ConfigError);
+}
+
+TEST(RenderPlot, EmptyThrows) {
+  EXPECT_THROW((void)tb::render_plot(std::vector<tb::PlotSeries>{}, tb::PlotOptions{}),
+               adc::common::ConfigError);
+}
+
+TEST(PaperComparison, RendersRows) {
+  tb::PaperComparison cmp("Table I");
+  cmp.add_numeric("SNR", 67.1, 67.4, "dB");
+  cmp.add("technology", "0.18um CMOS", "behavioral model", "substitution");
+  cmp.add_shape("power vs rate", "linear", "linear (R2=0.9999)", true);
+  const auto s = cmp.render();
+  EXPECT_NE(s.find("Table I"), std::string::npos);
+  EXPECT_NE(s.find("67.1"), std::string::npos);
+  EXPECT_NE(s.find("+0.3 dB"), std::string::npos);
+  EXPECT_NE(s.find("shape: MATCH"), std::string::npos);
+}

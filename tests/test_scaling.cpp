@@ -1,0 +1,59 @@
+/// Unit tests for stage scaling policies.
+#include "pipeline/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ap = adc::pipeline;
+
+TEST(ScalingPolicy, PaperProfile) {
+  const auto p = ap::ScalingPolicy::paper();
+  EXPECT_DOUBLE_EQ(p.factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.factor(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.factor(2), 1.0 / 3.0);
+  // "...and the rest of the stages with 1/3": the profile repeats.
+  EXPECT_DOUBLE_EQ(p.factor(9), 1.0 / 3.0);
+  EXPECT_EQ(p.name(), "paper-1-2/3-1/3");
+}
+
+TEST(ScalingPolicy, PaperTotalForTenStages) {
+  const auto p = ap::ScalingPolicy::paper();
+  // 1 + 2/3 + 8*(1/3) = 4.333..: the pipeline costs 4.33 stage-1 units of
+  // capacitance and bias instead of 10 — the paper's area/power saving.
+  EXPECT_NEAR(p.total(10), 13.0 / 3.0, 1e-12);
+}
+
+TEST(ScalingPolicy, UniformIsAllOnes) {
+  const auto p = ap::ScalingPolicy::uniform();
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(p.factor(i), 1.0);
+  EXPECT_DOUBLE_EQ(p.total(10), 10.0);
+}
+
+TEST(ScalingPolicy, GeometricDecaysToFloor) {
+  const auto p = ap::ScalingPolicy::geometric(0.5, 0.25);
+  EXPECT_DOUBLE_EQ(p.factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.factor(1), 0.5);
+  EXPECT_DOUBLE_EQ(p.factor(2), 0.25);
+  EXPECT_DOUBLE_EQ(p.factor(9), 0.25);  // floor holds
+}
+
+TEST(ScalingPolicy, FactorsVector) {
+  const auto f = ap::ScalingPolicy::paper().factors(5);
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[4], 1.0 / 3.0);
+}
+
+TEST(ScalingPolicy, Custom) {
+  const auto p = ap::ScalingPolicy::custom({1.0, 0.8}, "my-policy");
+  EXPECT_DOUBLE_EQ(p.factor(5), 0.8);
+  EXPECT_EQ(p.name(), "my-policy");
+}
+
+TEST(ScalingPolicy, RejectsBadFactors) {
+  EXPECT_THROW((void)ap::ScalingPolicy::custom({}, "empty"), adc::common::ConfigError);
+  EXPECT_THROW((void)ap::ScalingPolicy::custom({1.5}, "big"), adc::common::ConfigError);
+  EXPECT_THROW((void)ap::ScalingPolicy::custom({0.0}, "zero"), adc::common::ConfigError);
+  EXPECT_THROW((void)ap::ScalingPolicy::geometric(1.0, 0.5), adc::common::ConfigError);
+}

@@ -1,0 +1,205 @@
+/// Unit tests for one 1.5-bit pipeline stage.
+#include "pipeline/stage.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/random.hpp"
+
+namespace ap = adc::pipeline;
+using adc::digital::StageCode;
+
+namespace {
+
+ap::StageSpec clean_spec() {
+  ap::StageSpec s;
+  s.c1 = {275e-15, 0.0, 0.0};
+  s.c2 = {275e-15, 0.0, 0.0};
+  s.parasitic_input_cap = 0.0;
+  s.opamp.dc_gain = 1e12;
+  s.opamp.gbw_hz = 800e6;
+  s.opamp.slew_rate = 1e12;
+  s.opamp.bias_nominal = 8e-3;
+  s.opamp.output_swing = 2.0;
+  s.opamp.gm_compression = 0.0;
+  s.adsc_comparator.sigma_offset = 0.0;
+  s.adsc_comparator.noise_rms = 0.0;
+  s.adsc_comparator.metastable_window = 0.0;
+  s.leakage.i0 = 0.0;
+  s.leakage.sigma_mismatch = 0.0;
+  s.noise_excess = 0.0;
+  return s;
+}
+
+ap::PipelineStage make_stage(const ap::StageSpec& spec, double scale = 1.0,
+                             std::uint64_t seed = 1) {
+  adc::common::Rng rng(seed);
+  return ap::PipelineStage(spec, scale, 1.0, rng);
+}
+
+constexpr double kForever = 1.0;  // settle window >> tau
+
+}  // namespace
+
+TEST(PipelineStage, IdealDecisionBoundaries) {
+  auto stage = make_stage(clean_spec());
+  EXPECT_EQ(stage.ideal_decision(0.0), StageCode::kZero);
+  EXPECT_EQ(stage.ideal_decision(0.26), StageCode::kPlus);
+  EXPECT_EQ(stage.ideal_decision(-0.26), StageCode::kMinus);
+  EXPECT_EQ(stage.ideal_decision(0.24), StageCode::kZero);
+}
+
+TEST(PipelineStage, IdealResidueTransfer) {
+  auto stage = make_stage(clean_spec());
+  adc::common::Rng noise(2);
+  // In the flat middle segment the residue is exactly 2*v.
+  for (double v : {-0.2, -0.1, 0.0, 0.05, 0.2}) {
+    const auto r = stage.process(v, 1.0, 8e-3, kForever, 0.0, noise);
+    EXPECT_EQ(r.code, StageCode::kZero);
+    EXPECT_NEAR(r.residue, 2.0 * v, 1e-9) << v;
+  }
+  // Outer segments subtract the DAC level.
+  const auto hi = stage.process(0.5, 1.0, 8e-3, kForever, 0.0, noise);
+  EXPECT_EQ(hi.code, StageCode::kPlus);
+  EXPECT_NEAR(hi.residue, 0.0, 1e-9);
+  const auto lo = stage.process(-0.75, 1.0, 8e-3, kForever, 0.0, noise);
+  EXPECT_EQ(lo.code, StageCode::kMinus);
+  EXPECT_NEAR(lo.residue, -0.5, 1e-9);
+}
+
+TEST(PipelineStage, ResidueStaysInRangeForInRangeInputs) {
+  auto stage = make_stage(clean_spec());
+  adc::common::Rng noise(3);
+  for (double v = -0.999; v <= 0.999; v += 0.01) {
+    const auto r = stage.process(v, 1.0, 8e-3, kForever, 0.0, noise);
+    EXPECT_LE(std::abs(r.residue), 1.0 + 1e-9) << v;
+  }
+}
+
+TEST(PipelineStage, CapacitorMismatchChangesGain) {
+  auto spec = clean_spec();
+  spec.c1.sigma_mismatch = 0.01;  // exaggerated for visibility
+  spec.c2.sigma_mismatch = 0.01;
+  auto stage = make_stage(spec, 1.0, 42);
+  EXPECT_NE(stage.interstage_gain(), 2.0);
+  EXPECT_NEAR(stage.interstage_gain(), 2.0, 0.1);
+  adc::common::Rng noise(4);
+  const auto r = stage.process(0.1, 1.0, 8e-3, kForever, 0.0, noise);
+  EXPECT_NEAR(r.residue, stage.interstage_gain() * 0.1, 1e-9);
+}
+
+TEST(PipelineStage, ScaledStageShrinksCapsAndNoise) {
+  auto spec = clean_spec();
+  spec.noise_excess = 1.0;
+  auto full = make_stage(spec, 1.0, 5);
+  auto third = make_stage(spec, 1.0 / 3.0, 5);
+  EXPECT_NEAR(third.sampling_cap(), full.sampling_cap() / 3.0, 1e-18);
+  // kT/C noise grows as sqrt(3) for the 1/3-size stage.
+  EXPECT_NEAR(third.sample_noise_rms() / full.sample_noise_rms(), std::sqrt(3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(third.scale(), 1.0 / 3.0);
+}
+
+TEST(PipelineStage, SampleNoiseStatisticsMatchSpec) {
+  auto spec = clean_spec();
+  spec.noise_excess = 2.0;
+  auto stage = make_stage(spec);
+  adc::common::Rng noise(6);
+  std::vector<double> residues;
+  for (int i = 0; i < 20000; ++i) {
+    residues.push_back(stage.process(0.0, 1.0, 8e-3, kForever, 0.0, noise).residue);
+  }
+  // residue = 2 * (sampled noise): sigma_res = 2 * sigma_sample.
+  EXPECT_NEAR(adc::common::std_dev(residues), 2.0 * stage.sample_noise_rms(),
+              0.05 * stage.sample_noise_rms());
+}
+
+TEST(PipelineStage, DroopShiftsResidueAtLongHold) {
+  auto spec = clean_spec();
+  spec.leakage.i0 = 5e-9;
+  spec.leakage.k_v = 1.0;
+  spec.leakage.sigma_mismatch = 0.0;
+  auto stage = make_stage(spec);
+  adc::common::Rng noise(7);
+  const auto fast = stage.process(0.2, 1.0, 8e-3, kForever, 4.5e-9, noise);
+  const auto slow = stage.process(0.2, 1.0, 8e-3, kForever, 250e-9, noise);
+  EXPECT_GT(std::abs(fast.residue - slow.residue), 1e-6);
+}
+
+TEST(PipelineStage, IncompleteSettlingLeavesError) {
+  auto spec = clean_spec();
+  spec.opamp.dc_gain = 1e12;
+  auto stage = make_stage(spec);
+  adc::common::Rng noise(8);
+  const double tau = stage.opamp().time_constant(stage.beta(), 8e-3);
+  const auto r5 = stage.process(0.2, 1.0, 8e-3, 5.0 * tau, 0.0, noise);
+  const auto r9 = stage.process(0.2, 1.0, 8e-3, 9.0 * tau, 0.0, noise);
+  EXPECT_GT(std::abs(r5.residue - 0.4), std::abs(r9.residue - 0.4));
+  EXPECT_NEAR(r9.residue, 0.4, 0.4 * std::exp(-8.0));
+}
+
+TEST(PipelineStage, LowBiasSettlesWorse) {
+  auto stage = make_stage(clean_spec());
+  adc::common::Rng noise(9);
+  const auto full = stage.process(0.2, 1.0, 8e-3, 3e-9, 0.0, noise);
+  const auto starved = stage.process(0.2, 1.0, 0.5e-3, 3e-9, 0.0, noise);
+  EXPECT_GT(std::abs(starved.residue - 0.4), std::abs(full.residue - 0.4));
+}
+
+TEST(PipelineStage, ClipFlagOnOverrange) {
+  auto spec = clean_spec();
+  spec.opamp.output_swing = 1.45;
+  auto stage = make_stage(spec);
+  adc::common::Rng noise(10);
+  // 2*0.9 - 0 would be 1.8 > swing if the decision were forced to zero; with
+  // the correct +1 decision the residue is 0.8. Force via injected offsets.
+  stage.inject_comparator_offset(1, 10.0);   // upper comparator never fires
+  stage.inject_comparator_offset(0, -10.0);  // lower comparator always fires
+  const auto r = stage.process(0.9, 1.0, 8e-3, kForever, 0.0, noise);
+  EXPECT_EQ(r.code, StageCode::kZero);
+  EXPECT_TRUE(r.clipped);
+  EXPECT_NEAR(std::abs(r.residue), 1.45, 1e-9);
+}
+
+TEST(PipelineStage, ComparatorOffsetMovesDecisionNotResidueLaw) {
+  auto stage = make_stage(clean_spec());
+  stage.inject_comparator_offset(1, 0.05);  // upper threshold now 0.30
+  adc::common::Rng noise(11);
+  const auto r = stage.process(0.27, 1.0, 8e-3, kForever, 0.0, noise);
+  EXPECT_EQ(r.code, StageCode::kZero);          // wrong decision...
+  EXPECT_NEAR(r.residue, 0.54, 1e-9);           // ...but a consistent residue
+}
+
+TEST(PipelineStage, BetaFromCapacitors) {
+  auto spec = clean_spec();
+  spec.parasitic_input_cap = 110e-15;
+  auto stage = make_stage(spec);
+  EXPECT_NEAR(stage.beta(), 275.0 / (275.0 + 275.0 + 110.0), 1e-9);
+}
+
+TEST(PipelineStage, InvalidArgsThrow) {
+  EXPECT_THROW((void)make_stage(clean_spec(), 0.0), adc::common::ConfigError);
+  EXPECT_THROW((void)make_stage(clean_spec(), 1.5), adc::common::ConfigError);
+  auto stage = make_stage(clean_spec());
+  EXPECT_THROW(stage.inject_comparator_offset(2, 0.0), adc::common::ConfigError);
+}
+
+class ResidueContinuitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResidueContinuitySweep, TransferIsPiecewiseLinearWithUnitJumps) {
+  // Around each decision threshold the residue jumps by exactly V_REF
+  // (ideal caps): the property the digital correction inverts.
+  const double th = GetParam();
+  auto stage = make_stage(clean_spec());
+  adc::common::Rng noise(12);
+  const double eps = 1e-6;
+  const auto below = stage.process(th - eps, 1.0, 8e-3, kForever, 0.0, noise);
+  const auto above = stage.process(th + eps, 1.0, 8e-3, kForever, 0.0, noise);
+  EXPECT_NEAR(std::abs(above.residue - below.residue), 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ResidueContinuitySweep,
+                         ::testing::Values(0.25, -0.25));

@@ -1,0 +1,95 @@
+/// Unit tests for the Fig. 8 survey dataset and FM ranking.
+#include "survey/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sv = adc::survey;
+
+TEST(Survey, FifteenEntries) {
+  const auto data = sv::fig8_dataset();
+  EXPECT_EQ(data.size(), 15u);
+  int this_design = 0;
+  for (const auto& e : data) {
+    EXPECT_EQ(e.resolution_bits, 12);
+    EXPECT_GT(e.f_cr_msps, 0.0);
+    EXPECT_GT(e.area_mm2, 0.0);
+    EXPECT_GT(e.power_mw, 0.0);
+    EXPECT_GT(e.enob, 9.0);
+    if (e.is_this_design) ++this_design;
+  }
+  EXPECT_EQ(this_design, 1);
+}
+
+TEST(Survey, ThisDesignHasHighestFm) {
+  const auto points = sv::evaluate(sv::fig8_dataset());
+  EXPECT_EQ(sv::fm_rank(points, "This design"), 1u);
+}
+
+TEST(Survey, ThisDesignHasSecondLowestArea) {
+  // "...this design has the highest FM and the 2nd lowest area consumption."
+  const auto points = sv::evaluate(sv::fig8_dataset());
+  EXPECT_EQ(sv::area_rank(points, "This design"), 2u);
+}
+
+TEST(Survey, SecondPublished1V8Part) {
+  // "this converter is the 2nd published 12b ADC with 1.8V supply voltage".
+  const auto points = sv::evaluate(sv::fig8_dataset());
+  int count_1v8 = 0;
+  for (const auto& p : points) {
+    if (p.supply_class == sv::SupplyClass::k1V8) ++count_1v8;
+  }
+  EXPECT_EQ(count_1v8, 2);
+}
+
+TEST(Survey, FmValuesMatchEquationTwo) {
+  const auto points = sv::evaluate(sv::fig8_dataset());
+  for (const auto& p : points) {
+    if (p.entry.is_this_design) {
+      EXPECT_NEAR(p.fm, 1781.0, 15.0);
+      EXPECT_NEAR(p.inv_area, 1.0 / 0.86, 1e-6);
+    }
+  }
+}
+
+TEST(Survey, SupplyClassification) {
+  EXPECT_EQ(sv::classify_supply(1.8), sv::SupplyClass::k1V8);
+  EXPECT_EQ(sv::classify_supply(2.5), sv::SupplyClass::k2V5to2V7);
+  EXPECT_EQ(sv::classify_supply(2.7), sv::SupplyClass::k2V5to2V7);
+  EXPECT_EQ(sv::classify_supply(3.3), sv::SupplyClass::k3Vto3V3);
+  EXPECT_EQ(sv::classify_supply(5.0), sv::SupplyClass::k5V);
+  EXPECT_EQ(sv::classify_supply(10.0), sv::SupplyClass::k10V);
+}
+
+TEST(Survey, CitedComparatorsPresent) {
+  const auto data = sv::fig8_dataset();
+  int cited = 0;
+  for (const auto& e : data) {
+    if (e.name.find("[5]") == 0 || e.name.find("[6]") == 0 || e.name.find("[7]") == 0) {
+      ++cited;
+      EXPECT_FALSE(e.synthetic);
+    }
+  }
+  EXPECT_EQ(cited, 3);
+}
+
+TEST(Survey, OlderGenerationsHaveLowerFm) {
+  // The technology trajectory the paper's Fig. 8 shows: 5 V era parts sit in
+  // the bottom-left, low-voltage parts in the top-right.
+  const auto points = sv::evaluate(sv::fig8_dataset());
+  double best_5v = 0.0;
+  double best_1v8 = 0.0;
+  for (const auto& p : points) {
+    if (p.supply_class == sv::SupplyClass::k5V || p.supply_class == sv::SupplyClass::k10V) {
+      best_5v = std::max(best_5v, p.fm);
+    }
+    if (p.supply_class == sv::SupplyClass::k1V8) best_1v8 = std::max(best_1v8, p.fm);
+  }
+  EXPECT_GT(best_1v8, 10.0 * best_5v);
+}
+
+TEST(Survey, UnknownNameThrows) {
+  const auto points = sv::evaluate(sv::fig8_dataset());
+  EXPECT_THROW((void)sv::fm_rank(points, "no such ADC"), adc::common::MeasurementError);
+}

@@ -1,0 +1,166 @@
+/// Unit tests for the sampling-switch models — including the paper's two
+/// switch claims: bulk switching lowers the PMOS on-resistance, and the
+/// un-bootstrapped input switch is the distortion bottleneck.
+#include "analog/switches.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aa = adc::analog;
+
+namespace {
+
+aa::SwitchConfig make_config(aa::SwitchType type) {
+  aa::SwitchConfig c;
+  c.type = type;
+  c.w_over_l_nmos = 60.0;
+  c.w_over_l_pmos = 120.0;
+  c.vdd = 1.8;
+  return c;
+}
+
+}  // namespace
+
+TEST(SwitchModel, BulkSwitchingLowersOnResistance) {
+  // The paper's claim (section 3): tying the PMOS N-well to the source when
+  // on removes the body effect and lowers the on-resistance wherever the
+  // PMOS conducts.
+  const aa::SwitchModel plain(make_config(aa::SwitchType::kTransmissionGate));
+  const aa::SwitchModel bulk(make_config(aa::SwitchType::kBulkSwitchedTg));
+  for (double u = 0.6; u <= 1.4; u += 0.1) {
+    EXPECT_LE(bulk.r_on(u), plain.r_on(u) * 1.0001) << "u=" << u;
+  }
+  // At mid-rail the improvement is substantial.
+  EXPECT_LT(bulk.r_on(0.9), 0.88 * plain.r_on(0.9));
+}
+
+TEST(SwitchModel, BootstrappedIsFlattest) {
+  // Relative on-resistance variation across the signal range, per type.
+  auto variation = [](const aa::SwitchModel& m) {
+    double lo = 1e12;
+    double hi = 0.0;
+    for (double u = 0.4; u <= 1.4; u += 0.05) {
+      lo = std::min(lo, m.r_on(u));
+      hi = std::max(hi, m.r_on(u));
+    }
+    return hi / lo;
+  };
+  const aa::SwitchModel boot(make_config(aa::SwitchType::kBootstrapped));
+  const aa::SwitchModel bulk(make_config(aa::SwitchType::kBulkSwitchedTg));
+  const aa::SwitchModel plain(make_config(aa::SwitchType::kTransmissionGate));
+  EXPECT_LT(variation(boot), 1.01);              // essentially constant
+  EXPECT_LT(variation(bulk), variation(plain));  // bulk switching helps
+  EXPECT_GT(variation(bulk), 1.2);               // but is no bootstrap
+}
+
+TEST(SwitchModel, NmosOnlyDiesNearVdd) {
+  const aa::SwitchModel nmos(make_config(aa::SwitchType::kNmosOnly));
+  EXPECT_LT(nmos.r_on(0.2), 1e3);
+  EXPECT_GT(nmos.r_on(1.6), 1e5);  // no drive left near the positive rail
+}
+
+TEST(SwitchModel, JunctionCapDecreasesWithReverseBias) {
+  const aa::SwitchModel m(make_config(aa::SwitchType::kBulkSwitchedTg));
+  EXPECT_GT(m.c_junction(0.2), m.c_junction(0.9));
+  EXPECT_GT(m.c_junction(0.9), m.c_junction(1.6));
+  EXPECT_NEAR(m.c_junction(0.0), m.config().cj0, 1e-18);
+}
+
+TEST(SwitchModel, TimeConstantIncludesJunction) {
+  const aa::SwitchModel m(make_config(aa::SwitchType::kBulkSwitchedTg));
+  const double c_load = 0.5e-12;
+  EXPECT_GT(m.time_constant(0.9, c_load), m.r_on(0.9) * c_load);
+}
+
+TEST(SwitchModel, ChannelChargeSigns) {
+  const aa::SwitchModel nmos(make_config(aa::SwitchType::kNmosOnly));
+  EXPECT_LT(nmos.channel_charge(0.5), 0.0);  // electrons
+  const aa::SwitchModel boot(make_config(aa::SwitchType::kBootstrapped));
+  // Constant for the bootstrapped switch.
+  EXPECT_DOUBLE_EQ(boot.channel_charge(0.4), boot.channel_charge(1.2));
+}
+
+TEST(DifferentialSampler, TrackingErrorZeroAtZeroSlope) {
+  const aa::DifferentialSampler s(make_config(aa::SwitchType::kBulkSwitchedTg), 0.9,
+                                  0.55e-12);
+  EXPECT_DOUBLE_EQ(s.tracking_error(0.3, 0.0), 0.0);
+}
+
+TEST(DifferentialSampler, TrackingErrorProportionalToSlope) {
+  const aa::DifferentialSampler s(make_config(aa::SwitchType::kBulkSwitchedTg), 0.9,
+                                  0.55e-12);
+  const double e1 = s.tracking_error(0.2, 1e8);
+  const double e2 = s.tracking_error(0.2, 2e8);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-15);
+  EXPECT_LT(e1, 0.0);  // the sample lags a rising input
+}
+
+TEST(DifferentialSampler, TimeConstantIsEvenInSignal) {
+  const aa::DifferentialSampler s(make_config(aa::SwitchType::kBulkSwitchedTg), 0.9,
+                                  0.55e-12);
+  EXPECT_NEAR(s.average_time_constant(0.7), s.average_time_constant(-0.7), 1e-18);
+  // And genuinely signal dependent (the distortion source).
+  EXPECT_NE(s.average_time_constant(0.0), s.average_time_constant(1.0));
+}
+
+TEST(DifferentialSampler, ChargeInjectionIsOdd) {
+  auto cfg = make_config(aa::SwitchType::kBulkSwitchedTg);
+  cfg.injection_fraction = 0.05;
+  const aa::DifferentialSampler s(cfg, 0.9, 0.55e-12);
+  EXPECT_NEAR(s.charge_injection_error(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(s.charge_injection_error(0.6), -s.charge_injection_error(-0.6), 1e-15);
+  EXPECT_NE(s.charge_injection_error(0.6), 0.0);
+}
+
+TEST(DifferentialSampler, ChargeInjectionNonlinear) {
+  // The error must not be purely linear in v (otherwise no distortion).
+  auto cfg = make_config(aa::SwitchType::kBulkSwitchedTg);
+  cfg.injection_fraction = 0.05;
+  const aa::DifferentialSampler s(cfg, 0.9, 0.55e-12);
+  const double e_half = s.charge_injection_error(0.5);
+  const double e_full = s.charge_injection_error(1.0);
+  EXPECT_GT(std::abs(e_full - 2.0 * e_half), 1e-6 * std::abs(e_full));
+}
+
+TEST(DifferentialSampler, BootstrappedHasNoInjectionDistortion) {
+  auto cfg = make_config(aa::SwitchType::kBootstrapped);
+  cfg.injection_fraction = 0.05;
+  const aa::DifferentialSampler s(cfg, 0.9, 0.55e-12);
+  // Constant per-side charge cancels differentially.
+  EXPECT_NEAR(s.charge_injection_error(0.8), 0.0, 1e-15);
+}
+
+TEST(DifferentialSampler, ZeroFractionDisables) {
+  auto cfg = make_config(aa::SwitchType::kBulkSwitchedTg);
+  cfg.injection_fraction = 0.0;
+  const aa::DifferentialSampler s(cfg, 0.9, 0.55e-12);
+  EXPECT_DOUBLE_EQ(s.charge_injection_error(0.7), 0.0);
+}
+
+TEST(DifferentialSampler, InvalidConfigThrows) {
+  const auto cfg = make_config(aa::SwitchType::kBulkSwitchedTg);
+  EXPECT_THROW(aa::DifferentialSampler(cfg, 0.9, 0.0), adc::common::ConfigError);
+  EXPECT_THROW(aa::DifferentialSampler(cfg, 2.5, 1e-12), adc::common::ConfigError);
+}
+
+class TrackingDistortionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TrackingDistortionSweep, ErrorBoundedByTauTimesSlope) {
+  // |e| <= max_tau * |dv/dt| for any operating point: the first-order model
+  // never exceeds its own time constant bound.
+  const double v = GetParam();
+  const aa::DifferentialSampler s(make_config(aa::SwitchType::kBulkSwitchedTg), 0.9,
+                                  0.55e-12);
+  const double slope = 6.28e8;  // 100 MHz full-scale-ish
+  double max_tau = 0.0;
+  for (double u = 0.0; u <= 1.8; u += 0.01) {
+    max_tau = std::max(max_tau, s.switch_model().time_constant(u, 0.55e-12));
+  }
+  EXPECT_LE(std::abs(s.tracking_error(v, slope)), max_tau * slope * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Signals, TrackingDistortionSweep,
+                         ::testing::Values(-1.0, -0.5, 0.0, 0.5, 1.0));

@@ -1,0 +1,151 @@
+/// Unit tests for the measurement harness (dynamic test, static test,
+/// sweeps) against converters with known properties.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/static_test.hpp"
+#include "testbench/sweep.hpp"
+
+namespace ap = adc::pipeline;
+namespace tb = adc::testbench;
+
+TEST(DynamicTest, IdealConverterReads12Bits) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto r = tb::run_dynamic_test(adc, opt);
+  EXPECT_NEAR(r.metrics.enob, 12.0, 0.1);
+  // The tone snapped to an odd coherent bin near the request.
+  EXPECT_EQ(r.tone.cycles % 2, 1u);
+  EXPECT_NEAR(r.tone.frequency_hz, 10e6, 2.0 * 110e6 / 4096.0);
+}
+
+TEST(DynamicTest, ForcedBinMatchesToneSelection) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  const auto r = tb::run_dynamic_test(adc, opt);
+  EXPECT_EQ(r.metrics.fundamental_bin, r.tone.cycles);
+}
+
+TEST(DynamicTest, AmplitudeFractionControlsSignalPower) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 12;
+  opt.amplitude_fraction = 0.5;
+  const auto r = tb::run_dynamic_test(adc, opt);
+  EXPECT_NEAR(r.metrics.signal_amplitude, 0.5, 0.01);
+}
+
+TEST(DynamicTest, RejectsSillyAmplitude) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  tb::DynamicTestOptions opt;
+  opt.amplitude_fraction = 2.0;
+  EXPECT_THROW((void)tb::run_dynamic_test(adc, opt), adc::common::ConfigError);
+}
+
+TEST(StaticTest, HistogramOnIdealIsClean) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  tb::HistogramTestOptions opt;
+  opt.samples = 1 << 19;
+  const auto lin = tb::run_histogram_test(adc, opt);
+  EXPECT_LT(std::abs(lin.dnl_max), 0.3);
+  EXPECT_TRUE(lin.missing_codes.empty());
+}
+
+TEST(StaticTest, RequiresOverdrive) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  tb::HistogramTestOptions opt;
+  opt.overdrive_fraction = 0.9;
+  EXPECT_THROW((void)tb::run_histogram_test(adc, opt), adc::common::ConfigError);
+}
+
+TEST(StaticTest, EdgeExtractionMatchesIdealTransfer) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  const auto edges = tb::extract_transfer_edges(adc, 30);
+  ASSERT_EQ(edges.size(), 4095u);
+  // Edge between codes 2047 and 2048 sits at 0 V; edges are one LSB apart.
+  EXPECT_NEAR(edges[2047], 0.0, 1e-5);
+  EXPECT_NEAR(edges[2048] - edges[2047], 2.0 / 4096.0, 1e-5);
+}
+
+TEST(StaticTest, EdgeExtractionRefusesNoisyConverter) {
+  ap::PipelineAdc adc(ap::nominal_design());  // thermal noise enabled
+  EXPECT_THROW((void)tb::extract_transfer_edges(adc), adc::common::MeasurementError);
+}
+
+TEST(DynamicTest, AveragingTightensTheNoiseEstimate) {
+  // Repeated measurements of ONE die: the SNR estimate's scatter shrinks
+  // when each measurement averages 8 records (die-to-die variation must be
+  // excluded, so a single converter is re-measured).
+  ap::PipelineAdc die(ap::nominal_design());
+  auto measure = [&die](int averages) {
+    tb::DynamicTestOptions opt;
+    opt.record_length = 1 << 10;
+    opt.averages = averages;
+    return tb::run_dynamic_test(die, opt).metrics.snr_db;
+  };
+  std::vector<double> single;
+  std::vector<double> averaged;
+  for (int rep = 0; rep < 8; ++rep) single.push_back(measure(1));
+  for (int rep = 0; rep < 8; ++rep) averaged.push_back(measure(8));
+  auto spread = [](const std::vector<double>& v) {
+    double lo = v[0];
+    double hi = v[0];
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(averaged), spread(single));
+  // And the estimates agree in the mean.
+  EXPECT_NEAR(adc::common::mean(single), adc::common::mean(averaged), 0.5);
+}
+
+TEST(DynamicTest, AveragesRejectsZero) {
+  ap::PipelineAdc adc(ap::ideal_design());
+  tb::DynamicTestOptions opt;
+  opt.averages = 0;
+  EXPECT_THROW((void)tb::run_dynamic_test(adc, opt), adc::common::ConfigError);
+}
+
+TEST(Sweep, ConversionRateKeepsToneInBand) {
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 11;
+  const auto pts = tb::sweep_conversion_rate(ap::ideal_design(), {4e6, 40e6, 110e6}, opt);
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& p : pts) {
+    EXPECT_LT(p.result.tone.frequency_hz, p.x / 2.0);
+    EXPECT_GT(p.result.metrics.enob, 11.8) << p.x;
+  }
+  // At 110 MS/s the requested 10 MHz is honoured.
+  EXPECT_NEAR(pts[2].result.tone.frequency_hz, 10e6, 0.2e6);
+}
+
+TEST(Sweep, InputFrequencyHandlesUndersampling) {
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 11;
+  const auto pts = tb::sweep_input_frequency(ap::ideal_design(), {10e6, 70e6, 120e6}, opt);
+  ASSERT_EQ(pts.size(), 3u);
+  // All tones digitize cleanly on the ideal converter, above Nyquist too.
+  for (const auto& p : pts) {
+    EXPECT_GT(p.result.metrics.enob, 11.8) << p.x;
+  }
+  EXPECT_GT(pts[2].x, 110e6 / 2.0);  // genuinely undersampled point
+}
+
+TEST(Sweep, SameDieAcrossPoints) {
+  // The sweep must re-instantiate the same Monte-Carlo die at each point.
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 11;
+  auto cfg = ap::nominal_design();
+  const auto a = tb::sweep_conversion_rate(cfg, {110e6}, opt);
+  const auto b = tb::sweep_conversion_rate(cfg, {110e6}, opt);
+  EXPECT_DOUBLE_EQ(a[0].result.metrics.sndr_db, b[0].result.metrics.sndr_db);
+}

@@ -1,0 +1,57 @@
+/// Tests for the unit literals and physical constants.
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+
+using namespace adc::common::literals;
+
+TEST(Units, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(1.0_s, 1.0);
+  EXPECT_DOUBLE_EQ(1.0_ms, 1e-3);
+  EXPECT_DOUBLE_EQ(4.5_ns, 4.5e-9);
+  EXPECT_DOUBLE_EQ(0.45_ps, 0.45e-12);
+  EXPECT_DOUBLE_EQ(120.0_fs, 1.2e-13);
+}
+
+TEST(Units, FrequencyLiterals) {
+  EXPECT_DOUBLE_EQ(110.0_MHz, 110e6);
+  EXPECT_DOUBLE_EQ(110.0_MSps, 110e6);
+  EXPECT_DOUBLE_EQ(1.5_GHz, 1.5e9);
+  EXPECT_DOUBLE_EQ(10.0_kHz, 1e4);
+}
+
+TEST(Units, ElectricalLiterals) {
+  EXPECT_DOUBLE_EQ(1.8_V, 1.8);
+  EXPECT_DOUBLE_EQ(250.0_mV, 0.25);
+  EXPECT_DOUBLE_EQ(64.3_uV, 64.3e-6);
+  EXPECT_DOUBLE_EQ(7.9_mA, 7.9e-3);
+  EXPECT_DOUBLE_EQ(0.8_nA, 0.8e-9);
+  EXPECT_DOUBLE_EQ(550.0_fF, 550e-15);
+  EXPECT_DOUBLE_EQ(12.0_pF, 12e-12);
+  EXPECT_DOUBLE_EQ(2.0_kOhm, 2000.0);
+  EXPECT_DOUBLE_EQ(97.0_mW, 0.097);
+}
+
+TEST(Units, AreaLiterals) {
+  EXPECT_DOUBLE_EQ(0.86_mm2, 0.86e-6);
+  EXPECT_DOUBLE_EQ(100.0_um2, 1e-10);
+}
+
+TEST(Units, ReadsLikeADatasheet) {
+  // The intended configuration idiom compiles and evaluates consistently.
+  const double sampling_cap = 2.0 * 275.0_fF;
+  const double rate = 110.0_MSps;
+  EXPECT_DOUBLE_EQ(sampling_cap, 550e-15);
+  EXPECT_DOUBLE_EQ(12.0_pF * rate * 0.6_V, 12e-12 * 110e6 * 0.6);  // eq. (1)
+}
+
+TEST(Constants, PhysicalValues) {
+  namespace c = adc::common;
+  EXPECT_NEAR(c::k_boltzmann, 1.380649e-23, 1e-28);
+  EXPECT_NEAR(c::kt_nominal, 4.14e-21, 0.01e-21);
+  EXPECT_NEAR(c::vt_thermal, 25.85e-3, 0.1e-3);
+  EXPECT_DOUBLE_EQ(c::vdd_nominal, 1.8);
+  EXPECT_GT(c::process_018um::kp_nmos, c::process_018um::kp_pmos);
+}

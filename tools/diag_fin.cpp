@@ -1,0 +1,30 @@
+#include <cstdio>
+#include "pipeline/design.hpp"
+#include "testbench/sweep.hpp"
+using namespace adc;
+using pipeline::NonIdealities;
+static void run(const char* label, pipeline::AdcConfig cfg) {
+  testbench::DynamicTestOptions o;
+  auto pts = testbench::sweep_input_frequency(cfg, {10e6, 100e6}, o);
+  std::printf("%-24s", label);
+  for (auto& p : pts)
+    std::printf("  [%3.0fMHz SNR %6.2f SNDR %6.2f SFDR %6.2f]", p.x/1e6,
+                p.result.metrics.snr_db, p.result.metrics.sndr_db, p.result.metrics.sfdr_db);
+  std::printf("\n");
+}
+int main() {
+  auto base = pipeline::nominal_design();
+  run("ALL ON", base);
+  auto off = NonIdealities::all_off();
+  auto one = [&](const char* n, auto setter) {
+    auto c = base; c.enable = off; setter(c.enable); run(n, c);
+  };
+  { auto c = base; c.enable = off; run("ALL OFF", c); }
+  one("only jitter", [](NonIdealities& e){ e.aperture_jitter = true; });
+  one("only tracking", [](NonIdealities& e){ e.tracking_nonlinearity = true; });
+  one("jitter+tracking", [](NonIdealities& e){ e.aperture_jitter = true; e.tracking_nonlinearity = true; });
+  one("only thermal", [](NonIdealities& e){ e.thermal_noise = true; });
+  one("only settling", [](NonIdealities& e){ e.incomplete_settling = true; });
+  one("only mismatch", [](NonIdealities& e){ e.capacitor_mismatch = true; });
+  return 0;
+}

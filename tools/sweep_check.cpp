@@ -1,0 +1,34 @@
+#include <cstdio>
+#include "common/math_util.hpp"
+#include "pipeline/design.hpp"
+#include "power/power_model.hpp"
+#include "testbench/sweep.hpp"
+int main() {
+  using namespace adc;
+  auto base = pipeline::nominal_design();
+  testbench::DynamicTestOptions o;
+
+  std::printf("--- Fig5: vs conversion rate (fin<=10MHz) ---\n");
+  std::vector<double> rates{2e6, 5e6, 10e6, 20e6, 40e6, 60e6, 80e6, 100e6, 110e6,
+                            120e6, 130e6, 140e6, 150e6, 160e6, 180e6};
+  auto pts = testbench::sweep_conversion_rate(base, rates, o);
+  power::PowerModel pm(pipeline::nominal_power_spec());
+  for (auto& p : pts) {
+    pipeline::AdcConfig c = base; c.conversion_rate = p.x;
+    pipeline::PipelineAdc a(c);
+    std::printf("fcr %5.0f MS/s: SNR %6.2f SNDR %6.2f SFDR %6.2f  P=%6.1f mW\n",
+                p.x/1e6, p.result.metrics.snr_db, p.result.metrics.sndr_db,
+                p.result.metrics.sfdr_db, pm.estimate(a, p.x).total()*1e3);
+  }
+
+  std::printf("--- Fig6: vs input frequency at 110MS/s ---\n");
+  std::vector<double> fins{1e6, 5e6, 10e6, 20e6, 30e6, 40e6, 55e6, 70e6, 85e6,
+                           100e6, 120e6, 150e6};
+  auto pts2 = testbench::sweep_input_frequency(base, fins, o);
+  for (auto& p : pts2) {
+    std::printf("fin %5.1f MHz: SNR %6.2f SNDR %6.2f SFDR %6.2f\n",
+                p.x/1e6, p.result.metrics.snr_db, p.result.metrics.sndr_db,
+                p.result.metrics.sfdr_db);
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include <cstdio>
+#include "pipeline/design.hpp"
+#include "testbench/dynamic_test.hpp"
+int main() {
+  for (double soft : {0.03, 0.05, 0.08, 0.12}) {
+    for (double frac : {0.02, 0.04, 0.06, 0.09}) {
+      auto cfg = adc::pipeline::nominal_design();
+      cfg.input_switch.injection_softening = soft;
+      cfg.input_switch.injection_fraction = frac;
+      adc::pipeline::PipelineAdc a(cfg);
+      adc::testbench::DynamicTestOptions o;
+      auto r = adc::testbench::run_dynamic_test(a, o);
+      std::printf("soft %.2f frac %.2f : SNR %6.2f SNDR %6.2f SFDR %6.2f THD %7.2f spur HD%d\n",
+                  soft, frac, r.metrics.snr_db, r.metrics.sndr_db, r.metrics.sfdr_db,
+                  r.metrics.thd_db, r.metrics.spur_harmonic_order);
+    }
+  }
+  return 0;
+}
