@@ -7,6 +7,7 @@
 /// the whole trade: plain TG < bulk-switched TG < bootstrapped, and what the
 /// rejected bootstrap would have bought at high input frequencies.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "analog/switches.hpp"
@@ -58,7 +59,7 @@ int main() {
                 sfdr_rows[1][2] >= sfdr_rows[0][2]);
   cmp.add_shape("bootstrap would fix the Fig. 6 fall",
                 "paper: \"can be solved by bootstrapping\"",
-                "+" + AsciiTable::num(sfdr_rows[2][2] - sfdr_rows[1][2], 1) +
+                std::string("+") + AsciiTable::num(sfdr_rows[2][2] - sfdr_rows[1][2], 1) +
                     " dB SFDR @100MHz",
                 sfdr_rows[2][2] > sfdr_rows[1][2] + 5.0);
   cmp.add("why the paper still shipped the TG", "bootstrap lifetime risk at 1.8 V",

@@ -5,6 +5,7 @@
 /// -40..125 C and VDD +/-10 %. The temperature physics in the model — kT/C
 /// noise, junction leakage doubling every 10 K, mobility ~ T^-1.5 — plus the
 /// bandgap-held references produce the corner behavior below.
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -50,7 +51,9 @@ int main() {
     table.add_row({corner.label, AsciiTable::num(m.snr_db, 2), AsciiTable::num(m.sndr_db, 2),
                    AsciiTable::num(m.sfdr_db, 2), AsciiTable::num(m.enob, 2)});
     worst_sndr = std::min(worst_sndr, m.sndr_db);
-    if (corner.t_kelvin == 300.0 && corner.vdd == 1.80) room_sndr = m.sndr_db;
+    const bool room_nominal =
+        std::abs(corner.t_kelvin - 300.0) < 0.5 && std::abs(corner.vdd - 1.80) < 0.005;
+    if (room_nominal) room_sndr = m.sndr_db;
   }
   std::printf("%s\n", table.render().c_str());
 

@@ -7,6 +7,7 @@
 /// Mechanisms: at high rate the settling window shrinks faster (1/f) than
 /// the SC-biased opamp bandwidth grows (sqrt(f)); at very low rate the hold
 /// caps droop through junction leakage for 1/f-long hold phases.
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -61,7 +62,7 @@ int main() {
   // The paper's explicit range claims.
   auto metric_at = [&](double rate, auto getter) {
     for (const auto& p : points) {
-      if (p.x == rate) return getter(p.result.metrics);
+      if (std::abs(p.x - rate) < 0.5) return getter(p.result.metrics);  // within half a hertz
     }
     return 0.0;
   };

@@ -20,9 +20,9 @@ struct BandgapSpec {
   /// Residual second-order curvature [V/K^2] of a first-order-compensated
   /// bandgap (typical few tens of uV over -40..125C).
   double curvature = -4e-9;
-  double supply_sensitivity = 2e-3; ///< dVout/dVdd [V/V]
+  double supply_sensitivity = 0.002; ///< dVout/dVdd [V/V]
   double vdd_nominal = 1.8;
-  double sigma_process = 5e-3;      ///< one-sigma relative spread (untrimmed)
+  double sigma_process = 0.005;      ///< one-sigma relative spread (untrimmed)
 };
 
 /// One realized bandgap reference.

@@ -9,17 +9,20 @@
 #pragma once
 
 #include "common/random.hpp"
+#include "common/units.hpp"
 
 namespace adc::analog {
+
+using namespace adc::common::literals;
 
 /// Statistical parameters of one comparator.
 struct ComparatorSpec {
   double threshold = 0.0;        ///< nominal decision threshold [V]
-  double sigma_offset = 10e-3;   ///< one-sigma random offset [V]
-  double noise_rms = 0.5e-3;     ///< per-decision input noise [V rms]
+  double sigma_offset = 10.0_mV;   ///< one-sigma random offset [V]
+  double noise_rms = 0.5_mV;     ///< per-decision input noise [V rms]
   /// Half-width of the metastability window [V]: inputs within this window
   /// of the effective threshold resolve randomly.
-  double metastable_window = 5e-6;
+  double metastable_window = 5.0_uV;
 };
 
 /// One realized comparator (offset drawn at construction).

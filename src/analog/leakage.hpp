@@ -11,13 +11,16 @@
 #pragma once
 
 #include "common/random.hpp"
+#include "common/units.hpp"
 
 namespace adc::analog {
+
+using namespace adc::common::literals;
 
 /// Leakage parameters for the pair of hold nodes of one stage.
 struct LeakageSpec {
   /// Nominal leakage at the common-mode operating point [A] per side.
-  double i0 = 2e-9;
+  double i0 = 2.0_nA;
   /// Voltage coefficient [1/V]: i(u) = i0*(1 + k_v*(u - u0)).
   double k_v = 0.9;
   /// One-sigma relative mismatch between the two sides.

@@ -16,7 +16,7 @@ enum class MosType { kNmos, kPmos };
 struct MosParams {
   MosType type = MosType::kNmos;
   double w_over_l = 1.0;     ///< aspect ratio W/L
-  double kp = 340e-6;        ///< u0*Cox [A/V^2]
+  double kp = 340e-6;        ///< u0*Cox [A/V^2]  // lint-ok: no A/V^2 literal
   double vth0 = 0.45;        ///< zero-bias threshold magnitude [V]
   double gamma = 0.45;       ///< body-effect coefficient [sqrt(V)]
   double two_phi_f = 0.85;   ///< surface potential [V]

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 
@@ -35,6 +36,9 @@ double Opamp::time_constant(double beta, double ibias) const {
 }
 
 SettleResult Opamp::settle(double target, double t_settle, double beta, double ibias) const {
+  ADC_EXPECT(std::isfinite(target), "Opamp::settle: non-finite target voltage");
+  ADC_EXPECT(t_settle >= 0.0, "Opamp::settle: negative settling time");
+  ADC_EXPECT(std::isfinite(ibias) && ibias >= 0.0, "Opamp::settle: bad bias current");
   SettleResult r;
 
   // Finite-gain static error: the loop settles to target/(1 + 1/(A0*beta)).
@@ -74,6 +78,9 @@ SettleResult Opamp::settle(double target, double t_settle, double beta, double i
     r.clipped = true;
   }
   r.output = out;
+  ADC_ENSURE(std::isfinite(r.output), "Opamp::settle: non-finite output");
+  ADC_ENSURE(adc::common::in_closed_range(r.output, -params_.output_swing, params_.output_swing),
+             "Opamp::settle: output escaped the swing limit");
   return r;
 }
 

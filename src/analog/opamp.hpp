@@ -16,14 +16,18 @@
 ///  * output swing clipping.
 #pragma once
 
+#include "common/units.hpp"
+
 namespace adc::analog {
+
+using namespace adc::common::literals;
 
 /// Opamp electrical parameters, specified at a nominal tail bias current.
 struct OpampParams {
   double dc_gain = 10000.0;        ///< A0, linear (80 dB)
-  double gbw_hz = 900e6;           ///< unity-gain bandwidth at nominal bias
-  double slew_rate = 1.2e9;        ///< [V/s] at nominal bias
-  double bias_nominal = 1e-3;      ///< [A] tail current the above refer to
+  double gbw_hz = 900.0_MHz;       ///< unity-gain bandwidth at nominal bias
+  double slew_rate = 1.2e9;        ///< [V/s] at nominal bias  // lint-ok: no V/s literal
+  double bias_nominal = 1.0_mA;    ///< [A] tail current the above refer to
   double output_swing = 1.4;       ///< max |Vout| differential [V]
   /// Relative lengthening of the settling time constant at full output swing
   /// (gm compression): tau_eff = tau * (1 + compression * |vout|/swing).

@@ -10,19 +10,22 @@
 #pragma once
 
 #include "common/random.hpp"
+#include "common/units.hpp"
 
 namespace adc::analog {
+
+using namespace adc::common::literals;
 
 /// Electrical parameters of the buffered reference network.
 struct RefBufferSpec {
   double nominal_vref = 1.0;      ///< differential reference VREFP-VREFN [V]
   double common_mode = 0.9;       ///< CM voltage [V]
   double output_resistance = 2.0; ///< buffer Rout [Ohm]
-  double decap_farad = 100e-9;    ///< off-chip decoupling [F]
+  double decap_farad = 100.0_nF;  ///< off-chip decoupling [F]
   /// Charge drawn per stage per conversion at full reference switching [C].
-  double charge_per_event = 0.6e-12;
-  double sigma_level = 1e-3;      ///< one-sigma static level error [V]
-  double quiescent_current = 2.0e-3;  ///< buffer bias [A] (for the power model)
+  double charge_per_event = 0.6_pC;
+  double sigma_level = 1.0_mV;    ///< one-sigma static level error [V]
+  double quiescent_current = 2.0_mA;  ///< buffer bias [A] (for the power model)
 };
 
 /// Stateful reference buffer: tracks the residual droop on the decoupling

@@ -17,8 +17,11 @@
 #pragma once
 
 #include "analog/mos.hpp"
+#include "common/units.hpp"
 
 namespace adc::analog {
+
+using namespace adc::common::literals;
 
 /// Switch topology.
 enum class SwitchType {
@@ -35,13 +38,13 @@ struct SwitchConfig {
   double w_over_l_pmos = 300.0;  ///< paper: "especially the PMOS becomes large"
   double vdd = 1.8;
   /// Zero-bias junction capacitance at the signal node [F].
-  double cj0 = 40e-15;
+  double cj0 = 40.0_fF;
   /// Junction built-in potential [V] and grading coefficient.
   double cj_phi = 0.8;
   double cj_m = 0.4;
   /// Gate-channel capacitance per unit W/L [F]: C_ch = w_over_l * this
   /// (L^2 * Cox; 0.18um with Cox ~ 8.5 fF/um^2 gives ~0.275 fF).
-  double channel_cap_per_wl = 0.275e-15;
+  double channel_cap_per_wl = 0.275_fF;
   /// Residual fraction of the channel charge that lands on the sampled
   /// charge when the switch opens. Bottom-plate sampling (the paper's S1B
   /// opens first) cancels almost all of the input switch's injection; what

@@ -11,13 +11,16 @@
 
 #include "bias/bias_source.hpp"
 #include "common/random.hpp"
+#include "common/units.hpp"
 
 namespace adc::bias {
+
+using namespace adc::common::literals;
 
 /// Design parameters of a conventional current reference.
 struct FixedBiasSpec {
   /// Current required at the design point with nominal capacitors [A].
-  double design_current = 1.0e-3;
+  double design_current = 1.0_mA;
   /// Over-design margin covering the slow-capacitor corner and the maximum
   /// intended rate (the paper's motivation: "large fixed bias currents ...
   /// that can handle the largest possible capacitive load").
@@ -26,7 +29,7 @@ struct FixedBiasSpec {
   /// V/R reference; far worse than the bandgap-over-C_B of eq. 1).
   double sigma_process = 0.10;
   /// Quiescent overhead of the generator [A].
-  double overhead_current = 100e-6;
+  double overhead_current = 100.0_uA;
 };
 
 /// One realized fixed generator.

@@ -1,5 +1,8 @@
 #include "bias/sc_bias.hpp"
 
+#include <cmath>
+
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace adc::bias {
@@ -16,13 +19,18 @@ double ScBiasGenerator::master_current(double f_cr) const {
   // Unity-gain OTA forces BIAS to V_BIAS within its loop gain:
   // V_eff = V_BIAS * A/(1+A).
   const double v_eff = spec_.v_bias * spec_.ota_gain / (1.0 + spec_.ota_gain);
-  return cb_.value() * f_cr * v_eff;
+  const double i_bias = cb_.value() * f_cr * v_eff;
+  ADC_ENSURE(std::isfinite(i_bias) && i_bias >= 0.0,
+             "ScBiasGenerator::master_current: bad I_BIAS");
+  return i_bias;
 }
 
 double ScBiasGenerator::sampled_current(double f_cr, adc::common::Rng& rng) const {
   const double mean = master_current(f_cr);
   if (spec_.ripple_sigma <= 0.0) return mean;
-  return mean * (1.0 + rng.gaussian(spec_.ripple_sigma));
+  const double sampled = mean * (1.0 + rng.gaussian(spec_.ripple_sigma));
+  ADC_ENSURE(std::isfinite(sampled), "ScBiasGenerator::sampled_current: non-finite current");
+  return sampled;
 }
 
 }  // namespace adc::bias

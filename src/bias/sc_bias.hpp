@@ -21,13 +21,16 @@
 #include "analog/capacitor.hpp"
 #include "bias/bias_source.hpp"
 #include "common/random.hpp"
+#include "common/units.hpp"
 
 namespace adc::bias {
+
+using namespace adc::common::literals;
 
 /// Design parameters of the SC bias generator.
 struct ScBiasSpec {
   /// The switched capacitor C_B (nominal value plus statistics).
-  adc::analog::CapacitorSpec cb{12e-12, 0.002, 0.0};
+  adc::analog::CapacitorSpec cb{12.0_pF, 0.002, 0.0};
   /// V_BIAS derived from the bandgap [V].
   double v_bias = 0.6;
   /// OTA loop gain (finite gain leaves a small systematic error on BIAS).
@@ -36,7 +39,7 @@ struct ScBiasSpec {
   /// after the mirror's filtering), one sigma per sample.
   double ripple_sigma = 0.002;
   /// Quiescent current of OTA + mirror overhead [A].
-  double overhead_current = 150e-6;
+  double overhead_current = 150.0_uA;
 };
 
 /// One realized SC bias generator.

@@ -10,13 +10,16 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "common/units.hpp"
 
 namespace adc::clocking {
 
+using namespace adc::common::literals;
+
 /// Clock source parameters.
 struct ClockSpec {
-  double frequency_hz = 110e6;  ///< conversion rate f_CR
-  double jitter_rms_s = 0.45e-12;  ///< white aperture jitter, one sigma [s]
+  double frequency_hz = 110.0_MHz;  ///< conversion rate f_CR
+  double jitter_rms_s = 0.45_ps;  ///< white aperture jitter, one sigma [s]
   /// Random-walk (accumulated) jitter step per sample [s]: models the
   /// close-in phase noise of a free-running source. Unlike white jitter,
   /// the error accumulates, so its energy concentrates in skirts around the

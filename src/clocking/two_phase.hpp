@@ -11,7 +11,11 @@
 /// a scheme + conversion rate into the usable tracking/settling windows.
 #pragma once
 
+#include "common/units.hpp"
+
 namespace adc::clocking {
+
+using namespace adc::common::literals;
 
 /// Clocking scheme for the pipeline stages.
 enum class ClockingScheme {
@@ -23,13 +27,13 @@ enum class ClockingScheme {
 struct PhaseTimingSpec {
   ClockingScheme scheme = ClockingScheme::kLocalSequential;
   /// Guard (non-overlap) interval of the conventional scheme [s].
-  double non_overlap_s = 700e-12;
+  double non_overlap_s = 700.0_ps;
   /// Residual local sequencing delay of the paper's scheme [s]
   /// (a few gate delays in 0.18um).
-  double local_sequence_delay_s = 120e-12;
+  double local_sequence_delay_s = 120.0_ps;
   /// Additional fixed overhead per phase: switch turn-on, comparator
   /// regeneration before the DSB can select the reference [s].
-  double phase_overhead_s = 150e-12;
+  double phase_overhead_s = 150.0_ps;
 };
 
 /// Phase windows available to a stage at one conversion rate.

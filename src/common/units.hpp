@@ -57,6 +57,17 @@ constexpr double operator""_W(long double v) { return static_cast<double>(v); }
 constexpr double operator""_mW(long double v) { return static_cast<double>(v) * 1e-3; }
 constexpr double operator""_uW(long double v) { return static_cast<double>(v) * 1e-6; }
 
+// --- charge ---
+constexpr double operator""_C(long double v) { return static_cast<double>(v); }
+constexpr double operator""_nC(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pC(long double v) { return static_cast<double>(v) * 1e-12; }
+
+// --- energy ---
+constexpr double operator""_J(long double v) { return static_cast<double>(v); }
+constexpr double operator""_nJ(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+
 // --- area ---
 constexpr double operator""_mm2(long double v) { return static_cast<double>(v) * 1e-6; }
 constexpr double operator""_um2(long double v) { return static_cast<double>(v) * 1e-12; }

@@ -19,9 +19,12 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "digital/codes.hpp"
 
 namespace adc::digital {
+
+using namespace adc::common::literals;
 
 /// Hardware inventory of the correction fabric.
 struct GateCount {
@@ -51,8 +54,8 @@ class StructuralCorrection {
   /// flip-flop (clock included). This accounts for the correction fabric
   /// only; the converter-level digital power additionally carries the clock
   /// tree and output drivers (see power/power_model.hpp).
-  [[nodiscard]] double switched_capacitance(double alpha = 0.2, double c_gate = 2e-15,
-                                            double c_ff = 10e-15) const;
+  [[nodiscard]] double switched_capacitance(double alpha = 0.2, double c_gate = 2.0_fF,
+                                            double c_ff = 10.0_fF) const;
 
   [[nodiscard]] int resolution_bits() const { return num_stages_ + flash_bits_; }
 

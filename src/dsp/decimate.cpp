@@ -17,10 +17,11 @@ std::vector<double> design_lowpass_fir(double cutoff_norm, std::size_t taps) {
   double sum = 0.0;
   for (std::size_t k = 0; k < taps; ++k) {
     const double x = static_cast<double>(k) - m / 2.0;
-    // Ideal low-pass impulse response...
-    const double sinc = x == 0.0 ? 2.0 * cutoff_norm
-                                 : std::sin(2.0 * std::numbers::pi * cutoff_norm * x) /
-                                       (std::numbers::pi * x);
+    // Ideal low-pass impulse response (x == 0 exactly when k is the centre tap,
+    // which only exists for odd tap counts).
+    const double sinc = 2 * k + 1 == taps ? 2.0 * cutoff_norm
+                                          : std::sin(2.0 * std::numbers::pi * cutoff_norm * x) /
+                                                (std::numbers::pi * x);
     // ...shaped by a Blackman window (-74 dB sidelobes).
     const double w = 0.42 -
                      0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(k) / m) +

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 
@@ -53,6 +54,7 @@ void ifft_in_place(std::vector<Complex>& data) {
 }
 
 std::vector<Complex> fft_real(std::span<const double> x) {
+  ADC_EXPECT(adc::common::all_finite(x), "fft_real: non-finite sample in input record");
   std::vector<Complex> data(x.begin(), x.end());
   fft_in_place(data);
   return data;
@@ -70,6 +72,7 @@ std::vector<double> power_spectrum(std::span<const double> x) {
     // have no mirror.
     power[k] = (k == 0 || k == half) ? mag2 : 2.0 * mag2;
   }
+  ADC_ENSURE(adc::common::all_finite(power), "power_spectrum: non-finite bin power");
   return power;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace adc::dsp {
@@ -61,7 +62,8 @@ LinearityResult histogram_linearity(std::span<const int> codes, int bits) {
             "histogram_linearity: code out of range");
     hist[static_cast<std::size_t>(c)] += 1.0;
   }
-  if (hist.front() == 0.0 || hist.back() == 0.0) {
+  // Bins hold integer counts, so "empty" is exactly representable below 0.5.
+  if (hist.front() < 0.5 || hist.back() < 0.5) {
     throw MeasurementError(
         "histogram_linearity: end codes never hit; sine must overdrive the full scale");
   }
@@ -106,7 +108,13 @@ LinearityResult histogram_linearity(std::span<const int> codes, int bits) {
     const double w = transitions[k] - transitions[k - 1];
     r.dnl[k] = w / lsb - 1.0;
   }
+  // The arcsine transform of a cumulative histogram is non-decreasing by
+  // construction; a violation means the CDF accumulation itself broke.
+  ADC_ENSURE(adc::common::is_nondecreasing(transitions),
+             "histogram_linearity: transition levels not monotonic");
   finalize(r);
+  ADC_ENSURE(adc::common::all_finite(r.dnl) && adc::common::all_finite(r.inl),
+             "histogram_linearity: non-finite DNL/INL entry");
   return r;
 }
 
@@ -133,6 +141,8 @@ LinearityResult edges_linearity(std::span<const double> edges, int bits) {
     r.dnl[k] = (edges[k] - edges[k - 1]) / lsb - 1.0;
   }
   finalize(r);
+  ADC_ENSURE(adc::common::all_finite(r.dnl) && adc::common::all_finite(r.inl),
+             "edges_linearity: non-finite DNL/INL entry");
   return r;
 }
 

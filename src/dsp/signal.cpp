@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace adc::dsp {
@@ -77,6 +78,7 @@ CoherentTone coherent_frequency(double target_hz, double fs, std::size_t n) {
     if (m < 1) m = 1;
   }
   if (m >= n / 2) m = n / 2 - 1;
+  ADC_ENSURE(m >= 1 && m < n / 2, "coherent_frequency: bin escaped (0, n/2)");
   return {static_cast<double>(m) * bin, m};
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "dsp/fft.hpp"
@@ -108,6 +109,7 @@ namespace {
 SpectrumMetrics analyze_power_spectrum(const std::vector<double>& ps_in, std::size_t n,
                                        double sample_rate_hz, double ng,
                                        const SpectrumOptions& options) {
+  ADC_EXPECT(adc::common::all_finite(ps_in), "analyze_tone: non-finite power-spectrum bin");
   const auto& ps = ps_in;
   const std::size_t half = n / 2;
   const double bin_hz = sample_rate_hz / static_cast<double>(n);
@@ -208,6 +210,9 @@ SpectrumMetrics analyze_power_spectrum(const std::vector<double>& ps_in, std::si
   m.thd_db = adc::common::db_from_power_ratio(std::max(m.thd_power, eps) / m.signal_power);
   m.sfdr_db = adc::common::db_from_power_ratio(m.signal_power / std::max(m.spur_power, eps));
   m.enob = adc::common::enob_from_sndr_db(m.sndr_db);
+  ADC_ENSURE(m.noise_power >= 0.0, "analyze_tone: negative integrated noise power");
+  ADC_ENSURE(std::isfinite(m.snr_db) && std::isfinite(m.sndr_db) && std::isfinite(m.enob),
+             "analyze_tone: non-finite dynamic metric");
   return m;
 }
 

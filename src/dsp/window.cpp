@@ -65,7 +65,7 @@ double enbw_bins(std::span<const double> window) {
     s1 += v;
     s2 += v * v;
   }
-  adc::common::require(s1 != 0.0, "enbw_bins: zero-sum window");
+  adc::common::require(std::abs(s1) > 0.0, "enbw_bins: zero-sum window");
   return static_cast<double>(window.size()) * s2 / (s1 * s1);
 }
 

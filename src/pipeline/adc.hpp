@@ -33,6 +33,7 @@
 #include "clocking/clock.hpp"
 #include "clocking/two_phase.hpp"
 #include "common/random.hpp"
+#include "common/units.hpp"
 #include "digital/alignment.hpp"
 #include "digital/correction.hpp"
 #include "dsp/signal.hpp"
@@ -41,6 +42,8 @@
 #include "pipeline/stage.hpp"
 
 namespace adc::pipeline {
+
+using namespace adc::common::literals;
 
 /// Which bias generator feeds the pipeline.
 enum class BiasScheme {
@@ -77,7 +80,7 @@ struct AdcConfig {
   /// junction leakage every ~10 K, degrades mobility (opamp GBW ~ T^-1.5)
   /// and moves the bandgap along its curvature — the PVT corner knob.
   double temperature_k = 300.0;
-  double conversion_rate = 110e6;
+  double conversion_rate = 110.0_MHz;
 
   ScalingPolicy scaling = ScalingPolicy::paper();
   StageSpec stage;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/constants.hpp"
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace adc::pipeline {
@@ -79,6 +80,9 @@ double PipelineStage::residue_target(double v_held, StageCode d, double vref) co
 
 StageResult PipelineStage::process(double v_in, double vref, double ibias, double settle_s,
                                    double hold_s, adc::common::Rng& noise_rng) {
+  ADC_EXPECT(std::isfinite(v_in), "PipelineStage::process: non-finite input voltage");
+  ADC_EXPECT(std::isfinite(vref) && vref > 0.0, "PipelineStage::process: bad V_REF");
+  ADC_EXPECT(settle_s >= 0.0 && hold_s >= 0.0, "PipelineStage::process: negative phase time");
   // 1. Sample with thermal noise.
   double sampled = v_in;
   if (sigma_sample_ > 0.0) sampled += noise_rng.gaussian(sigma_sample_);
@@ -109,6 +113,7 @@ StageResult PipelineStage::process(double v_in, double vref, double ibias, doubl
   r.residue = settled.output;
   r.slew_limited = settled.slew_limited;
   r.clipped = settled.clipped;
+  ADC_ENSURE(std::isfinite(r.residue), "PipelineStage::process: non-finite residue");
   return r;
 }
 

@@ -26,18 +26,21 @@
 #include "analog/leakage.hpp"
 #include "analog/opamp.hpp"
 #include "common/random.hpp"
+#include "common/units.hpp"
 #include "digital/codes.hpp"
 
 namespace adc::pipeline {
+
+using namespace adc::common::literals;
 
 /// Stage-1-sized electrical specification; later stages scale it.
 struct StageSpec {
   /// Per-side sampling capacitors (C1 and C2 of the paper's Fig. 2; the
   /// sampling capacitance per side is C1 + C2).
-  adc::analog::CapacitorSpec c1{275e-15, 0.0004, 0.0};
-  adc::analog::CapacitorSpec c2{275e-15, 0.0004, 0.0};
+  adc::analog::CapacitorSpec c1{275.0_fF, 0.0004, 0.0};
+  adc::analog::CapacitorSpec c2{275.0_fF, 0.0004, 0.0};
   /// Opamp input parasitic [F] at stage-1 size (lowers the feedback factor).
-  double parasitic_input_cap = 100e-15;
+  double parasitic_input_cap = 100.0_fF;
   /// Opamp parameters, specified at the stage-1 nominal bias current.
   adc::analog::OpampParams opamp;
   /// ADSC comparator statistics (thresholds are set to +/- V_REF/4).

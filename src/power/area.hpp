@@ -8,22 +8,25 @@
 /// (section 2: "lower area and lower power ... with only small degradation").
 #pragma once
 
+#include "common/units.hpp"
 #include "pipeline/scaling.hpp"
 
 namespace adc::power {
 
+using namespace adc::common::literals;
+
 /// Block areas at stage-1 size [m^2]; calibrated so the paper's layout sums
 /// to its published 0.86 mm^2.
 struct AreaSpec {
-  double stage_unit = 0.062e-6;      ///< one full-size 1.5-bit stage
-  double flash = 0.020e-6;
-  double sc_bias = 0.050e-6;
-  double bandgap = 0.050e-6;
-  double reference_buffer = 0.120e-6;
-  double cm_generator = 0.030e-6;
-  double digital = 0.120e-6;         ///< delay + correction logic
-  double clock_gen = 0.040e-6;
-  double routing_overhead = 0.160e-6;
+  double stage_unit = 0.062_mm2;      ///< one full-size 1.5-bit stage
+  double flash = 0.020_mm2;
+  double sc_bias = 0.050_mm2;
+  double bandgap = 0.050_mm2;
+  double reference_buffer = 0.120_mm2;
+  double cm_generator = 0.030_mm2;
+  double digital = 0.120_mm2;         ///< delay + correction logic
+  double clock_gen = 0.040_mm2;
+  double routing_overhead = 0.160_mm2;
 };
 
 /// Per-block area breakdown [m^2].

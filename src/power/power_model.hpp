@@ -11,21 +11,24 @@
 /// calibration policy).
 #pragma once
 
+#include "common/units.hpp"
 #include "pipeline/adc.hpp"
 
 namespace adc::power {
 
+using namespace adc::common::literals;
+
 /// Block constants of the power model (calibrated once at the nominal
 /// design point; see design.cpp).
 struct PowerSpec {
-  double bandgap_current = 0.4e-3;   ///< [A], static
-  double cm_gen_current = 0.6e-3;    ///< [A], static
+  double bandgap_current = 0.4_mA;   ///< [A], static
+  double cm_gen_current = 0.6_mA;    ///< [A], static
   /// Effective switched capacitance of the delay/correction logic and clock
   /// tree [F]: P_dig = C_eff * VDD^2 * f_CR.
-  double digital_switched_cap = 36e-12;
-  double digital_static_current = 0.2e-3;  ///< leakage + always-on logic [A]
+  double digital_switched_cap = 36.0_pF;
+  double digital_static_current = 0.2_mA;  ///< leakage + always-on logic [A]
   /// Energy per comparator decision [J] (ADSC + flash latches).
-  double comparator_energy = 0.5e-12;
+  double comparator_energy = 0.5_pJ;
 };
 
 /// Per-block power breakdown [W].

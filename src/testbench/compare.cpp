@@ -17,7 +17,7 @@ void PaperComparison::add(const std::string& metric, const std::string& paper,
 void PaperComparison::add_numeric(const std::string& metric, double paper, double simulated,
                                   const std::string& unit, const std::string& note) {
   std::ostringstream dev;
-  if (paper != 0.0) {
+  if (std::abs(paper) > 0.0) {
     dev.setf(std::ios::fixed);
     dev.precision(1);
     dev << (simulated - paper >= 0.0 ? "+" : "") << (simulated - paper) << " " << unit;

@@ -9,17 +9,20 @@
 
 #include <cstddef>
 
+#include "common/units.hpp"
 #include "dsp/signal.hpp"
 #include "dsp/spectrum.hpp"
 #include "pipeline/adc.hpp"
 
 namespace adc::testbench {
 
+using namespace adc::common::literals;
+
 /// Options for one dynamic measurement.
 struct DynamicTestOptions {
   std::size_t record_length = 1 << 13;
   /// Requested input frequency [Hz]; snapped to the nearest odd coherent bin.
-  double target_fin_hz = 10e6;
+  double target_fin_hz = 10.0_MHz;
   /// Signal amplitude as a fraction of full scale (the paper measures "near
   /// full scale", 2 V_P-P).
   double amplitude_fraction = 0.985;

@@ -82,7 +82,7 @@ double axis_transform(double v, bool log_scale) {
 
 std::string format_tick(double v) {
   std::ostringstream out;
-  if (v != 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-3)) {
+  if (std::abs(v) > 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-3)) {
     out.precision(1);
     out << std::scientific << v;
   } else {

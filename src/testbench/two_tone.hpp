@@ -11,18 +11,21 @@
 
 #include <cstddef>
 
+#include "common/units.hpp"
 #include "dsp/spectrum.hpp"
 #include "pipeline/adc.hpp"
 
 namespace adc::testbench {
+
+using namespace adc::common::literals;
 
 /// Options for the two-tone measurement.
 struct TwoToneOptions {
   std::size_t record_length = 1 << 13;
   /// Requested tone centre [Hz]; both tones are snapped to odd coherent bins
   /// around it, `spacing_hz` apart.
-  double center_hz = 10e6;
-  double spacing_hz = 1.2e6;
+  double center_hz = 10.0_MHz;
+  double spacing_hz = 1.2_MHz;
   /// Per-tone amplitude as a fraction of full scale (0.49 ~ -6.2 dBFS each).
   double amplitude_fraction = 0.49;
 };

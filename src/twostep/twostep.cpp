@@ -1,5 +1,6 @@
 #include "twostep/twostep.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/constants.hpp"
@@ -174,7 +175,7 @@ int TwoStepAdc::quantize_sample(double sampled) {
   const double levels = std::pow(2.0, resolution_bits());
   auto code = static_cast<int>(std::llround((v_hat + vref) / (2.0 * vref) * levels - 0.5));
   const auto max_code = static_cast<int>(levels) - 1;
-  return adc::common::clamp(code, 0, max_code);
+  return std::clamp(code, 0, max_code);
 }
 
 std::vector<int> TwoStepAdc::convert(const adc::dsp::Signal& signal, std::size_t n) {

@@ -28,9 +28,12 @@
 #include "analog/switches.hpp"
 #include "clocking/clock.hpp"
 #include "common/random.hpp"
+#include "common/units.hpp"
 #include "dsp/signal.hpp"
 
 namespace adc::twostep {
+
+using namespace adc::common::literals;
 
 /// Error-mechanism switches (a subset of the pipeline's, same semantics).
 struct TwoStepNonIdealities {
@@ -50,10 +53,10 @@ struct TwoStepConfig {
   int fine_bits = 7;  ///< one bit of overlap: resolution = coarse + fine - 1
   double full_scale_vpp = 2.0;
   double vdd = 1.8;
-  double conversion_rate = 80e6;
+  double conversion_rate = 80.0_MHz;
 
   /// Per-side sampling capacitance of the S/H [F].
-  double sh_cap = 1.0e-12;
+  double sh_cap = 1.0_pF;
   /// Excess factor on the S/H kT/C noise.
   double noise_excess = 1.5;
 

@@ -1,0 +1,73 @@
+/// Contract macros: fire with location in Debug, compile to nothing in
+/// Release. The suite runs in both configurations (the sanitizer CI lane is a
+/// Debug build), so every expectation is gated on ADC_ENABLE_CONTRACTS rather
+/// than assuming one build type.
+#include "common/contracts.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using adc::common::all_finite;
+using adc::common::in_closed_range;
+using adc::common::is_nondecreasing;
+
+TEST(ContractHelpers, AllFiniteAcceptsFiniteRejectsNanAndInf) {
+  const std::vector<double> good{0.0, -1.5, 1e300};
+  EXPECT_TRUE(all_finite(good));
+  const std::vector<double> with_nan{0.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(all_finite(with_nan));
+  const std::vector<double> with_inf{std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(all_finite(with_inf));
+  EXPECT_TRUE(all_finite(std::vector<double>{}));
+}
+
+TEST(ContractHelpers, InClosedRangeIsInclusive) {
+  EXPECT_TRUE(in_closed_range(0.0, 0.0, 1.0));
+  EXPECT_TRUE(in_closed_range(1.0, 0.0, 1.0));
+  EXPECT_FALSE(in_closed_range(1.0 + 1e-12, 0.0, 1.0));
+  EXPECT_FALSE(in_closed_range(std::numeric_limits<double>::quiet_NaN(), 0.0, 1.0));
+}
+
+TEST(ContractHelpers, IsNondecreasingAllowsTiesRejectsDips) {
+  const std::vector<double> flat{1.0, 1.0, 2.0};
+  EXPECT_TRUE(is_nondecreasing(flat));
+  const std::vector<double> dip{1.0, 0.5};
+  EXPECT_FALSE(is_nondecreasing(dip));
+  EXPECT_TRUE(is_nondecreasing(std::vector<double>{}));
+}
+
+#if ADC_ENABLE_CONTRACTS
+
+TEST(ContractsDebugDeathTest, ExpectAbortsWithMessageAndLocation) {
+  EXPECT_DEATH(ADC_EXPECT(1 + 1 == 3, "arithmetic broke"),
+               "ADC_EXPECT.*arithmetic broke");
+}
+
+TEST(ContractsDebugDeathTest, EnsureAbortsWithMessageAndLocation) {
+  EXPECT_DEATH(ADC_ENSURE(false, "postcondition violated"),
+               "ADC_ENSURE.*postcondition violated");
+}
+
+TEST(ContractsDebug, PassingConditionIsSilent) {
+  int evaluations = 0;
+  ADC_EXPECT([&] { ++evaluations; return true; }(), "must not fire");
+  EXPECT_EQ(evaluations, 1);  // the condition IS evaluated when contracts are on
+}
+
+#else  // Release: the macros must vanish entirely.
+
+TEST(ContractsRelease, ConditionIsNeverEvaluated) {
+  int evaluations = 0;
+  ADC_EXPECT([&] { ++evaluations; return false; }(), "compiled out");
+  ADC_ENSURE([&] { ++evaluations; return false; }(), "compiled out");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif
+
+}  // namespace

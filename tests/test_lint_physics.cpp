@@ -1,0 +1,93 @@
+/// Self-test for the lint_physics domain linter: every rule must fire on its
+/// known-bad fixture and stay silent on the known-good one. Fixture files live
+/// in tools/lint_physics/fixtures/src/ (ADC_LINT_FIXTURE_DIR) and are never
+/// compiled; they are test data.
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using adc::lint::Finding;
+using adc::lint::lint_file;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(ADC_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintPhysics, GoodFixtureIsClean) {
+  const auto findings = lint_file("src/fixture/good_model.hpp", read_fixture("good_model.hpp"));
+  for (const auto& f : findings) ADD_FAILURE() << adc::lint::to_string(f);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintPhysics, RngFacadeRuleFiresOnRawRandomness) {
+  const auto findings = lint_file("src/fixture/bad_rng.cpp", read_fixture("bad_rng.cpp"));
+  // srand + time(nullptr) on one line, std::rand, and std::random_device.
+  EXPECT_GE(count_rule(findings, "rng-facade"), 3u);
+}
+
+TEST(LintPhysics, RngFacadeRuleExemptsTheFacadeItself) {
+  const std::string facade = "std::uint64_t seed() { std::random_device rd; return rd(); }\n";
+  EXPECT_TRUE(lint_file("src/common/random.cpp", facade).empty());
+  EXPECT_EQ(count_rule(lint_file("src/analog/noise.cpp", facade), "rng-facade"), 1u);
+}
+
+TEST(LintPhysics, PrintfRuleFiresInSrcOnly) {
+  const auto contents = read_fixture("bad_printf.cpp");
+  EXPECT_EQ(count_rule(lint_file("src/fixture/bad_printf.cpp", contents), "no-printf"), 1u);
+  // The same code in a tool is allowed: CLIs print by design.
+  EXPECT_EQ(count_rule(lint_file("tools/fixture/cli.cpp", contents), "no-printf"), 0u);
+}
+
+TEST(LintPhysics, SiLiteralRuleFiresOnRawScaleFactors) {
+  const auto findings = lint_file("src/fixture/bad_magic.hpp", read_fixture("bad_magic.hpp"));
+  EXPECT_EQ(count_rule(findings, "si-literal"), 3u);
+}
+
+TEST(LintPhysics, SiLiteralRuleIgnoresConstexprPhysicalConstants) {
+  const std::string constants = "inline constexpr double kp_nmos = 340e-6;\n";
+  EXPECT_TRUE(lint_file("src/common/constants.hpp", constants).empty());
+}
+
+TEST(LintPhysics, NodiscardRuleFiresOnBareConstAccessors) {
+  const auto findings =
+      lint_file("src/fixture/bad_nodiscard.hpp", read_fixture("bad_nodiscard.hpp"));
+  EXPECT_EQ(count_rule(findings, "nodiscard-accessor"), 2u);
+}
+
+TEST(LintPhysics, NodiscardOnPrecedingLineIsAccepted) {
+  const std::string decl =
+      "class M {\n public:\n  [[nodiscard]]\n  double enob() const;\n};\n";
+  EXPECT_EQ(count_rule(lint_file("src/fixture/meter.hpp", decl), "nodiscard-accessor"), 0u);
+}
+
+TEST(LintPhysics, CommentsAndStringsAreInvisibleToRules) {
+  const std::string text =
+      "// std::rand() in prose\n"
+      "/* printf(\"x\") in a block comment */\n"
+      "const char* msg = \"std::rand() inside a string\";\n";
+  EXPECT_TRUE(lint_file("src/fixture/prose.cpp", text).empty());
+}
+
+TEST(LintPhysics, LintOkSuppressionDisablesTheLine) {
+  const std::string text = "unsigned s = std::rand();  // lint-ok: documented exception\n";
+  EXPECT_TRUE(lint_file("src/fixture/suppressed.cpp", text).empty());
+}
+
+}  // namespace

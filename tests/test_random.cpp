@@ -1,7 +1,9 @@
 /// Unit tests for the seeded RNG façade.
 #include "common/random.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
@@ -22,7 +24,10 @@ TEST(Rng, DifferentSeedsDiffer) {
   ac::Rng b(2);
   int equal = 0;
   for (int i = 0; i < 100; ++i) {
-    if (a.gaussian(1.0) == b.gaussian(1.0)) ++equal;
+    // Bitwise comparison: we are counting exact stream collisions.
+    const auto xa = std::bit_cast<std::uint64_t>(a.gaussian(1.0));
+    const auto xb = std::bit_cast<std::uint64_t>(b.gaussian(1.0));
+    if (xa == xb) ++equal;
   }
   EXPECT_LT(equal, 5);
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Check that every C++ source file matches .clang-format, without rewriting
+# anything. Exits nonzero and prints a diff-style report on violations.
+#
+# Usage: tools/check_format.sh [clang-format-binary]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${1:-${CLANG_FORMAT:-clang-format}}"
+
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  echo "check_format: '$CLANG_FORMAT' not found; install clang-format or pass its path" >&2
+  exit 2
+fi
+
+# Everything we compile, plus the linter's fixtures (they are read, not built,
+# but still live in the tree as C++).
+mapfile -t files < <(find src tests bench examples tools \
+  \( -name '*.cpp' -o -name '*.hpp' \) -not -path '*/build/*' | sort)
+
+"$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+echo "check_format: ${#files[@]} files clean"

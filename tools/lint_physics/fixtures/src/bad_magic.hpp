@@ -1,0 +1,14 @@
+/// Known-bad fixture for the si-literal rule: raw SI scale factors in config
+/// defaults where units.hpp literals exist. Never compiled; scanned by the
+/// self-test.
+#pragma once
+
+namespace adc::fixture {
+
+struct BadSpec {
+  double sampling_cap = 550e-15;    // si-literal: should be 550.0_fF
+  double conversion_rate = 110e6;   // si-literal: should be 110.0_MHz
+  double jitter_rms = 0.45e-12;     // si-literal: should be 0.45_ps
+};
+
+}  // namespace adc::fixture

@@ -1,0 +1,19 @@
+/// Known-bad fixture for the nodiscard-accessor rule: const measurement
+/// accessors without [[nodiscard]]. Never compiled; scanned by the self-test.
+#pragma once
+
+namespace adc::fixture {
+
+class BadMeter {
+ public:
+  double enob() const { return enob_; }              // nodiscard-accessor finding
+  double noise_power() const { return noise_; }      // nodiscard-accessor finding
+  [[nodiscard]] double snr_db() const { return snr_; }  // fine
+
+ private:
+  double enob_ = 0.0;
+  double noise_ = 0.0;
+  double snr_ = 0.0;
+};
+
+}  // namespace adc::fixture

@@ -1,0 +1,11 @@
+/// Known-bad fixture for the no-printf rule: direct console output from a
+/// src/ library. Never compiled; scanned by the self-test.
+#include <cstdio>
+
+namespace adc::fixture {
+
+void report_enob(double enob) {
+  std::printf("ENOB = %.2f bits\n", enob);  // no-printf finding
+}
+
+}  // namespace adc::fixture

@@ -1,0 +1,19 @@
+/// Known-bad fixture for the rng-facade rule: raw RNG and wall-clock seeding
+/// outside src/common/random.*. Never compiled; scanned by the self-test.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace adc::fixture {
+
+double unreproducible_noise() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // rng-facade finding
+  return static_cast<double>(std::rand());                // rng-facade finding
+}
+
+std::uint64_t hardware_seed() {
+  std::random_device rd;  // rng-facade: nondeterministic seed source
+  return rd();
+}
+
+}  // namespace adc::fixture

@@ -1,0 +1,38 @@
+/// Known-good fixture: follows every lint_physics convention.
+/// Referenced by tests/test_lint_physics.cpp; never compiled into the build.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace adc::fixture {
+
+using namespace adc::common::literals;
+
+/// Config struct with unit-literal defaults (si-literal rule).
+struct GoodSpec {
+  double sampling_cap = 550.0_fF;
+  double conversion_rate = 110.0_MHz;
+  double bias_current = 150.0_uA;
+};
+
+/// Model whose accessors carry [[nodiscard]] and whose noise flows through
+/// the Rng facade (rng-facade, nodiscard-accessor rules).
+class GoodModel {
+ public:
+  explicit GoodModel(const GoodSpec& spec) : spec_(spec) {}
+
+  [[nodiscard]] double sampling_cap() const { return spec_.sampling_cap; }
+  [[nodiscard]] const GoodSpec& spec() const { return spec_; }
+
+  double noisy_sample(adc::common::Rng& rng) { return rng.gaussian(1.0); }
+
+ private:
+  GoodSpec spec_;
+};
+
+// Mentioning std::rand in a comment is fine: rules see code, not prose.
+// A suppressed line keeps working too:
+inline unsigned seed_for_interop() { return 42U; }  // lint-ok: fixed interop seed
+
+}  // namespace adc::fixture

@@ -1,0 +1,208 @@
+#include "lint_rules.hpp"
+
+#include <array>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace adc::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure, so rule regexes never match documentation or message text.
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (c != '\n') out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (c != '\n') out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool path_contains(const fs::path& path, std::string_view needle) {
+  return path.generic_string().find(needle) != std::string::npos;
+}
+
+/// `// lint-ok: reason` on the original line suppresses every rule there.
+bool is_suppressed(const std::string& original_line) {
+  return original_line.find("lint-ok") != std::string::npos;
+}
+
+const std::regex& banned_random_re() {
+  static const std::regex re(
+      R"((\bstd\s*::\s*rand\b)|(\bsrand\s*\()|(\brand\s*\()|(\brandom_device\b)|(\bstd\s*::\s*time\s*\()|(\btime\s*\(\s*(NULL|nullptr|0)\s*\)))");
+  return re;
+}
+
+const std::regex& printf_family_re() {
+  static const std::regex re(
+      R"(\b(printf|fprintf|sprintf|snprintf|vprintf|vfprintf|puts|putchar)\s*\()");
+  return re;
+}
+
+// A raw SI scale factor (1e-12 and friends) used as an initializer. Exponents
+// ±{3,6,9,12,15} are exactly the prefixes units.hpp provides literals for.
+const std::regex& si_literal_re() {
+  static const std::regex re(R"([={,(]\s*[0-9][0-9.]*[eE][+-]?(3|6|9|12|15)\b)");
+  return re;
+}
+
+// A zero-argument const member declaration, e.g. "double value() const;".
+const std::regex& const_accessor_re() {
+  static const std::regex re(
+      R"(^\s*(?:virtual\s+)?(?!void\b)(?:const\s+)?[A-Za-z_][A-Za-z0-9_:<>,*& ]*[&* ]\s*[a-z_][A-Za-z0-9_]*\(\)\s*const\b)");
+  return re;
+}
+
+void scan_line(const fs::path& path, std::size_t line_no, const std::string& code_line,
+               const std::string& prev_code_line, const std::string& original_line,
+               std::vector<Finding>& findings) {
+  const bool in_src = path_contains(path, "src/");
+  const bool is_header = path.extension() == ".hpp";
+  const bool is_rng_facade = path_contains(path, "common/random.");
+  const std::string file = path.generic_string();
+
+  if (!is_rng_facade && std::regex_search(code_line, banned_random_re())) {
+    findings.push_back({file, line_no, "rng-facade",
+                        "raw RNG/time seeding; use the seeded adc::common::Rng facade "
+                        "(src/common/random.hpp) so results stay reproducible"});
+  }
+  if (in_src && std::regex_search(code_line, printf_family_re())) {
+    findings.push_back({file, line_no, "no-printf",
+                        "printf-family call in a src/ library; return values or use the "
+                        "testbench report layer instead"});
+  }
+  if (in_src && is_header && !path_contains(path, "common/units.hpp") &&
+      code_line.find("constexpr") == std::string::npos &&
+      std::regex_search(code_line, si_literal_re())) {
+    findings.push_back({file, line_no, "si-literal",
+                        "raw SI scale factor in a header initializer; use a units.hpp "
+                        "literal (e.g. 12.0_pF, 110.0_MHz, 150.0_uA)"});
+  }
+  if (in_src && is_header && code_line.find("operator") == std::string::npos &&
+      std::regex_search(code_line, const_accessor_re()) &&
+      original_line.find("[[nodiscard]]") == std::string::npos &&
+      prev_code_line.find("[[nodiscard]]") == std::string::npos) {
+    findings.push_back({file, line_no, "nodiscard-accessor",
+                        "const measurement accessor without [[nodiscard]]; a discarded "
+                        "measurement is always a bug"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_file(const fs::path& path, const std::string& contents) {
+  std::vector<Finding> findings;
+  const std::string code = strip_comments_and_strings(contents);
+
+  std::istringstream code_lines(code);
+  std::istringstream original_lines(contents);
+  std::string code_line;
+  std::string original_line;
+  std::string prev_code_line;
+  std::size_t line_no = 0;
+  while (std::getline(code_lines, code_line)) {
+    std::getline(original_lines, original_line);
+    ++line_no;
+    if (!is_suppressed(original_line)) {
+      scan_line(path, line_no, code_line, prev_code_line, original_line, findings);
+    }
+    prev_code_line = code_line;
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const fs::path& repo_root, std::size_t* files_scanned) {
+  std::vector<Finding> findings;
+  std::size_t scanned = 0;
+  static constexpr std::array<std::string_view, 5> kRoots{"src", "tests", "bench", "examples",
+                                                          "tools"};
+  for (const auto root : kRoots) {
+    const fs::path dir = repo_root / root;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& path = entry.path();
+      const auto ext = path.extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      // The linter's own sources and fixtures spell out the banned tokens.
+      if (path_contains(path, "lint_physics")) continue;
+      if (path_contains(path, "/build")) continue;
+      std::ifstream in(path);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      ++scanned;
+      auto file_findings = lint_file(path, buf.str());
+      findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    }
+  }
+  if (files_scanned != nullptr) *files_scanned = scanned;
+  return findings;
+}
+
+std::string to_string(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;
+  return out.str();
+}
+
+}  // namespace adc::lint

@@ -1,0 +1,53 @@
+/// \file lint_rules.hpp
+/// Repo-specific lint rules that generic tooling cannot express.
+///
+/// The generic layers (warnings, clang-tidy, sanitizers) catch language-level
+/// problems. These rules encode *simulator* conventions whose violation shows
+/// up as quietly-wrong physics rather than a crash:
+///
+///   rng-facade          all randomness flows through the seeded Rng façade in
+///                       src/common/random.*; std::rand/std::random_device/
+///                       time()-seeding anywhere else silently breaks
+///                       reproducibility of Monte-Carlo results.
+///   no-printf           src/ libraries never printf to stdout/stderr; results
+///                       are returned, reports go through testbench/report.
+///   si-literal          config-struct defaults in headers use the units.hpp
+///                       literals (12.0_pF), not raw scale factors (12e-12),
+///                       so a dropped exponent cannot mis-size a capacitor.
+///   nodiscard-accessor  const measurement accessors carry [[nodiscard]]; a
+///                       discarded measurement is always a bug.
+///
+/// A finding can be suppressed per line with a trailing `// lint-ok: reason`.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace adc::lint {
+
+/// One rule violation at a specific line.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Lint a single file's contents. `path` determines which rules apply (header
+/// vs source, under src/ or not); `contents` is the full file text.
+[[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& path,
+                                             const std::string& contents);
+
+/// Recursively lint every .cpp/.hpp under `repo_root`'s source directories
+/// (src, tests, bench, examples, tools), skipping build trees and the linter's
+/// own directory (whose sources and fixtures mention the banned tokens).
+/// When `files_scanned` is non-null it receives the number of files read, so
+/// callers can distinguish "clean" from "scanned nothing" (e.g. a wrong root).
+[[nodiscard]] std::vector<Finding> lint_tree(const std::filesystem::path& repo_root,
+                                             std::size_t* files_scanned = nullptr);
+
+/// Render a finding as "file:line: [rule] message".
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+}  // namespace adc::lint

@@ -1,0 +1,59 @@
+/// lint_physics — domain linter for the simulator tree.
+///
+/// Usage:
+///   lint_physics <repo_root>          scan src/ tests/ bench/ examples/ tools/
+///   lint_physics --file <path>...     scan specific files (fixture self-test)
+///
+/// Exit code 0 when clean, 1 when any rule fires, 2 on usage errors.
+/// Registered as the `lint_physics` ctest, so a violation fails the suite.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: lint_physics <repo_root> | lint_physics --file <path>...\n";
+    return 2;
+  }
+
+  std::vector<adc::lint::Finding> findings;
+  if (args.front() == "--file") {
+    if (args.size() < 2) {
+      std::cerr << "lint_physics: --file needs at least one path\n";
+      return 2;
+    }
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      std::ifstream in(args[i]);
+      if (!in) {
+        std::cerr << "lint_physics: cannot open " << args[i] << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const auto file_findings = adc::lint::lint_file(args[i], buf.str());
+      findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    }
+  } else {
+    std::size_t files_scanned = 0;
+    findings = adc::lint::lint_tree(args.front(), &files_scanned);
+    if (files_scanned == 0) {
+      std::cerr << "lint_physics: no source files under " << args.front()
+                << " (wrong repo root?)\n";
+      return 2;
+    }
+  }
+
+  for (const auto& finding : findings) {
+    std::cout << adc::lint::to_string(finding) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "lint_physics: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
