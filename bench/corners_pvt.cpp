@@ -6,10 +6,13 @@
 /// noise, junction leakage doubling every 10 K, mobility ~ T^-1.5 — plus the
 /// bandgap-held references produce the corner behavior below.
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <vector>
 
 #include "pipeline/design.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/parallel.hpp"
 #include "testbench/compare.hpp"
 #include "testbench/dynamic_test.hpp"
 #include "testbench/report.hpp"
@@ -36,18 +39,34 @@ int main() {
       {"hot/-10%  (398 K, 1.62 V)", 398.0, 1.62},
   };
 
+  runtime::RunManifest manifest("corners_pvt");
+  manifest.set_count("threads", runtime::effective_thread_count(0));
+  manifest.set_count("corner_count", corners.size());
+
+  // Every corner is an independent re-instantiation of the same die, so the
+  // whole matrix is one batch on the runtime; results come back corner-ordered.
+  std::vector<dsp::SpectrumMetrics> corner_metrics;
+  {
+    const auto scope = manifest.phase("corner_matrix", corners.size());
+    corner_metrics = runtime::parallel_map<dsp::SpectrumMetrics>(
+        corners.size(), [&corners](std::size_t i) {
+          auto cfg = pipeline::nominal_design();
+          cfg.temperature_k = corners[i].t_kelvin;
+          cfg.vdd = corners[i].vdd;
+          cfg.input_switch.vdd = corners[i].vdd;
+          pipeline::PipelineAdc die(cfg);
+          testbench::DynamicTestOptions corner_opt;
+          corner_opt.record_length = 1 << 13;
+          return testbench::run_dynamic_test(die, corner_opt).metrics;
+        });
+  }
+
   AsciiTable table({"corner", "SNR (dB)", "SNDR (dB)", "SFDR (dB)", "ENOB"});
   double worst_sndr = 1e9;
   double room_sndr = 0.0;
-  for (const auto& corner : corners) {
-    auto cfg = pipeline::nominal_design();
-    cfg.temperature_k = corner.t_kelvin;
-    cfg.vdd = corner.vdd;
-    cfg.input_switch.vdd = corner.vdd;
-    pipeline::PipelineAdc die(cfg);
-    testbench::DynamicTestOptions opt;
-    opt.record_length = 1 << 13;
-    const auto m = testbench::run_dynamic_test(die, opt).metrics;
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    const auto& corner = corners[i];
+    const auto& m = corner_metrics[i];
     table.add_row({corner.label, AsciiTable::num(m.snr_db, 2), AsciiTable::num(m.sndr_db, 2),
                    AsciiTable::num(m.sfdr_db, 2), AsciiTable::num(m.enob, 2)});
     worst_sndr = std::min(worst_sndr, m.sndr_db);
@@ -62,9 +81,14 @@ int main() {
   hot.temperature_k = 398.0;
   testbench::DynamicTestOptions opt;
   opt.record_length = 1 << 12;
-  const auto room_low = testbench::sweep_conversion_rate(pipeline::nominal_design(),
-                                                         {5e6, 20e6}, opt);
-  const auto hot_low = testbench::sweep_conversion_rate(hot, {5e6, 20e6}, opt);
+  std::vector<testbench::SweepPoint> room_low;
+  std::vector<testbench::SweepPoint> hot_low;
+  {
+    const auto scope = manifest.phase("low_rate_edges", 4);
+    room_low = testbench::sweep_conversion_rate(pipeline::nominal_design(),
+                                                {5e6, 20e6}, opt);
+    hot_low = testbench::sweep_conversion_rate(hot, {5e6, 20e6}, opt);
+  }
 
   testbench::PaperComparison cmp("PVT corners (extension)");
   cmp.add_numeric("room-temperature SNDR", 64.2, room_sndr, "dB");
@@ -78,5 +102,12 @@ int main() {
               " dB (398 K)",
           "");
   std::printf("%s\n", cmp.render().c_str());
+
+  runtime::global_pool().wait_idle();  // settle counters before the snapshot
+  manifest.set_pool_telemetry(runtime::global_pool().counters(),
+                              runtime::global_pool().latency_histogram());
+  if (const auto path = manifest.write_to_env_dir()) {
+    std::printf("manifest: %s\n", path->c_str());
+  }
   return 0;
 }

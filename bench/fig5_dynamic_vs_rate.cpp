@@ -13,6 +13,8 @@
 
 #include "common/csv.hpp"
 #include "pipeline/design.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/parallel.hpp"
 #include "testbench/compare.hpp"
 #include "testbench/report.hpp"
 #include "testbench/sweep.hpp"
@@ -29,7 +31,16 @@ int main() {
 
   const std::vector<double> rates{2e6,   5e6,   10e6,  20e6,  40e6,  60e6,  80e6, 100e6,
                                   110e6, 120e6, 130e6, 140e6, 150e6, 160e6, 180e6};
-  const auto points = testbench::sweep_conversion_rate(cfg, rates, opt);
+
+  runtime::RunManifest manifest("fig5_dynamic_vs_rate");
+  manifest.set_seed_range(cfg.seed, 1);
+  manifest.set_count("threads", runtime::effective_thread_count(0));
+  manifest.set_count("sweep_points", rates.size());
+  std::vector<testbench::SweepPoint> points;
+  {
+    const auto scope = manifest.phase("rate_sweep", rates.size());
+    points = testbench::sweep_conversion_rate(cfg, rates, opt);
+  }
 
   AsciiTable table({"f_CR (MS/s)", "SNR (dB)", "SNDR (dB)", "SFDR (dB)", "ENOB (bit)"});
   testbench::PlotSeries snr{"SNR", 'n', {}, {}};
@@ -104,6 +115,12 @@ int main() {
   }
   if (const auto path = common::write_bench_csv("fig5_dynamic_vs_rate", csv)) {
     std::printf("csv: %s\n", path->c_str());
+  }
+  runtime::global_pool().wait_idle();  // settle counters before the snapshot
+  manifest.set_pool_telemetry(runtime::global_pool().counters(),
+                              runtime::global_pool().latency_histogram());
+  if (const auto path = manifest.write_to_env_dir()) {
+    std::printf("manifest: %s\n", path->c_str());
   }
   return 0;
 }

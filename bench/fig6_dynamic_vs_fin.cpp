@@ -10,6 +10,8 @@
 
 #include "common/csv.hpp"
 #include "pipeline/design.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/parallel.hpp"
 #include "testbench/compare.hpp"
 #include "testbench/report.hpp"
 #include "testbench/sweep.hpp"
@@ -27,7 +29,16 @@ int main() {
 
   const std::vector<double> fins{1e6,  5e6,  10e6, 20e6,  30e6,  40e6,  55e6,
                                  70e6, 85e6, 100e6, 120e6, 135e6, 150e6};
-  const auto points = testbench::sweep_input_frequency(cfg, fins, opt);
+
+  runtime::RunManifest manifest("fig6_dynamic_vs_fin");
+  manifest.set_seed_range(cfg.seed, 1);
+  manifest.set_count("threads", runtime::effective_thread_count(0));
+  manifest.set_count("sweep_points", fins.size());
+  std::vector<testbench::SweepPoint> points;
+  {
+    const auto scope = manifest.phase("fin_sweep", fins.size());
+    points = testbench::sweep_input_frequency(cfg, fins, opt);
+  }
 
   AsciiTable table({"f_in (MHz)", "SNR (dB)", "SNDR (dB)", "SFDR (dB)", "worst spur"});
   testbench::PlotSeries snr{"SNR", 'n', {}, {}};
@@ -108,6 +119,12 @@ int main() {
   }
   if (const auto path = common::write_bench_csv("fig6_dynamic_vs_fin", csv)) {
     std::printf("csv: %s\n", path->c_str());
+  }
+  runtime::global_pool().wait_idle();  // settle counters before the snapshot
+  manifest.set_pool_telemetry(runtime::global_pool().counters(),
+                              runtime::global_pool().latency_histogram());
+  if (const auto path = manifest.write_to_env_dir()) {
+    std::printf("manifest: %s\n", path->c_str());
   }
   return 0;
 }

@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "pipeline/design.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/parallel.hpp"
 #include "testbench/dynamic_test.hpp"
 #include "testbench/monte_carlo.hpp"
 #include "testbench/report.hpp"
@@ -23,6 +25,10 @@ int main() {
   mc.num_dies = 25;
   mc.first_seed = 42;
 
+  runtime::RunManifest manifest("mc_yield");
+  manifest.set_seed_range(mc.first_seed, static_cast<std::uint64_t>(mc.num_dies));
+  manifest.set_count("threads", runtime::effective_thread_count(0));
+
   auto dynamic_metric = [](auto getter) {
     return [getter](pipeline::PipelineAdc& die) {
       testbench::DynamicTestOptions opt;
@@ -31,15 +37,19 @@ int main() {
     };
   };
 
-  const auto sndr = testbench::run_monte_carlo(
-      pipeline::nominal_design(),
-      dynamic_metric([](const dsp::SpectrumMetrics& m) { return m.sndr_db; }), mc);
-  const auto sfdr = testbench::run_monte_carlo(
-      pipeline::nominal_design(),
-      dynamic_metric([](const dsp::SpectrumMetrics& m) { return m.sfdr_db; }), mc);
-  const auto snr = testbench::run_monte_carlo(
-      pipeline::nominal_design(),
-      dynamic_metric([](const dsp::SpectrumMetrics& m) { return m.snr_db; }), mc);
+  auto timed_mc = [&](const char* phase_name, auto getter) {
+    const auto scope =
+        manifest.phase(phase_name, static_cast<std::uint64_t>(mc.num_dies));
+    return testbench::run_monte_carlo(pipeline::nominal_design(),
+                                      dynamic_metric(getter), mc);
+  };
+
+  const auto sndr =
+      timed_mc("mc_sndr", [](const dsp::SpectrumMetrics& m) { return m.sndr_db; });
+  const auto sfdr =
+      timed_mc("mc_sfdr", [](const dsp::SpectrumMetrics& m) { return m.sfdr_db; });
+  const auto snr =
+      timed_mc("mc_snr", [](const dsp::SpectrumMetrics& m) { return m.snr_db; });
 
   AsciiTable table({"metric", "mean", "sigma", "min", "max", "yield vs paper value"});
   table.add_row({"SNR (dB)", AsciiTable::num(snr.mean, 2), AsciiTable::num(snr.std_dev, 2),
@@ -72,5 +82,12 @@ int main() {
       "The paper's published 64.2 dB SNDR sits %.1f sigma from the population\n"
       "mean of this model: its die was a typical one, not a golden sample.\n",
       (64.2 - sndr.mean) / (sndr.std_dev > 0 ? sndr.std_dev : 1.0));
+
+  runtime::global_pool().wait_idle();  // settle counters before the snapshot
+  manifest.set_pool_telemetry(runtime::global_pool().counters(),
+                              runtime::global_pool().latency_histogram());
+  if (const auto path = manifest.write_to_env_dir()) {
+    std::printf("manifest: %s\n", path->c_str());
+  }
   return 0;
 }

@@ -1,14 +1,25 @@
 /// \file perf_simulator.cpp
 /// google-benchmark micro-benchmarks for the simulator kernels: conversion
 /// throughput, FFT, and the full dynamic-test loop. These guard the cost of
-/// the Monte-Carlo sweeps (a Fig. 5 sweep runs ~15 captures of 8k samples).
+/// the Monte-Carlo sweeps (a Fig. 5 sweep runs ~15 captures of 8k samples),
+/// plus the parallel runtime itself: pool fan-out overhead and the
+/// end-to-end Monte-Carlo / rate-sweep workloads at 1 and N threads (the
+/// serial-vs-parallel pair is the speedup the runtime exists to deliver).
+/// `tools/run_bench.sh` runs this binary with JSON output as the repo's
+/// performance trajectory artifact.
 #include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
 
 #include "dsp/fft.hpp"
 #include "dsp/signal.hpp"
 #include "dsp/spectrum.hpp"
 #include "pipeline/design.hpp"
+#include "runtime/parallel.hpp"
 #include "testbench/dynamic_test.hpp"
+#include "testbench/monte_carlo.hpp"
+#include "testbench/sweep.hpp"
 
 namespace {
 
@@ -81,6 +92,58 @@ void BM_DcConversion(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DcConversion);
+
+// --- Parallel runtime -------------------------------------------------------
+
+// Pure scheduling overhead: fan N trivial jobs through the pool and wait.
+void BM_RuntimeFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = adc::runtime::parallel_map<double>(
+        n, [](std::size_t i) { return static_cast<double>(i) * 1.0000001; });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RuntimeFanout)->Arg(64)->Arg(512);
+
+// The mc_yield workload shape at thread count = state.range(0) (0 = default).
+// Comparing threads=1 against the default count measures the real speedup.
+void BM_MonteCarloSndr(benchmark::State& state) {
+  adc::testbench::MonteCarloOptions mc;
+  mc.num_dies = 8;
+  mc.first_seed = 42;
+  mc.threads = static_cast<int>(state.range(0));
+  const auto metric = [](adc::pipeline::PipelineAdc& die) {
+    adc::testbench::DynamicTestOptions opt;
+    opt.record_length = 1 << 10;
+    return adc::testbench::run_dynamic_test(die, opt).metrics.sndr_db;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        adc::testbench::run_monte_carlo(adc::pipeline::nominal_design(), metric, mc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * mc.num_dies);
+}
+BENCHMARK(BM_MonteCarloSndr)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// The Fig. 5 workload shape: a conversion-rate sweep, serial vs parallel.
+void BM_RateSweep(benchmark::State& state) {
+  const auto cfg = adc::pipeline::nominal_design();
+  adc::testbench::DynamicTestOptions opt;
+  opt.record_length = 1 << 10;
+  const std::vector<double> rates{20e6, 60e6, 110e6, 140e6};
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const adc::runtime::ScopedThreadOverride pin(
+        threads > 0 ? threads : adc::runtime::default_thread_count());
+    benchmark::DoNotOptimize(adc::testbench::sweep_conversion_rate(cfg, rates, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rates.size()));
+}
+BENCHMARK(BM_RateSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,170 @@
+#include "runtime/manifest.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runtime/parallel.hpp"
+
+#ifndef ADC_GIT_DESCRIBE
+#define ADC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace adc::runtime {
+
+const char* git_describe() { return ADC_GIT_DESCRIBE; }
+
+namespace {
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",  // lint-ok: JSON escape, not I/O
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+RunManifest::RunManifest(std::string run_name) : run_name_(std::move(run_name)) {
+  set_text("run", run_name_);
+  set_count("schema_version", 1);
+  set_text("git_describe", git_describe());
+  set_count("default_threads", default_thread_count());
+  set_count("hardware_concurrency", std::thread::hardware_concurrency());
+}
+
+void RunManifest::set_field(const std::string& key, std::string json_value) {
+  for (auto& f : fields_) {
+    if (f.key == key) {
+      f.json_value = std::move(json_value);
+      return;
+    }
+  }
+  fields_.push_back({key, std::move(json_value)});
+}
+
+void RunManifest::set_text(const std::string& key, const std::string& value) {
+  set_field(key, json_quote(value));
+}
+
+void RunManifest::set_number(const std::string& key, double value) {
+  set_field(key, json_number(value));
+}
+
+void RunManifest::set_count(const std::string& key, std::uint64_t value) {
+  set_field(key, std::to_string(value));
+}
+
+void RunManifest::set_seed_range(std::uint64_t first_seed, std::uint64_t count) {
+  set_count("first_seed", first_seed);
+  set_count("seed_count", count);
+}
+
+void RunManifest::add_phase(const PhaseTiming& phase) { phases_.push_back(phase); }
+
+RunManifest::PhaseScope::PhaseScope(RunManifest& manifest, std::string name,
+                                    std::uint64_t jobs)
+    : manifest_(manifest), name_(std::move(name)), jobs_(jobs) {}
+
+RunManifest::PhaseScope::~PhaseScope() {
+  manifest_.add_phase({name_, watch_.wall_seconds(), watch_.cpu_seconds(), jobs_});
+}
+
+void RunManifest::set_pool_telemetry(const PoolCounters& counters,
+                                     const HistogramSnapshot& latency) {
+  has_pool_telemetry_ = true;
+  pool_counters_ = counters;
+  pool_latency_ = latency;
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  for (const auto& f : fields_) {
+    os << "  " << json_quote(f.key) << ": " << f.json_value << ",\n";
+  }
+  os << "  \"phases\": [";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const auto& p = phases_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": " << json_quote(p.name)
+       << ", \"wall_seconds\": " << json_number(p.wall_seconds)
+       << ", \"cpu_seconds\": " << json_number(p.cpu_seconds) << ", \"jobs\": " << p.jobs
+       << "}";
+  }
+  os << (phases_.empty() ? "]" : "\n  ]");
+  if (has_pool_telemetry_) {
+    os << ",\n  \"pool\": {\"submitted\": " << pool_counters_.submitted
+       << ", \"executed\": " << pool_counters_.executed
+       << ", \"stolen\": " << pool_counters_.stolen
+       << ", \"failed\": " << pool_counters_.failed
+       << ", \"backpressure_waits\": " << pool_counters_.backpressure_waits << "}";
+    os << ",\n  \"job_latency_us\": {\"total\": " << pool_latency_.total()
+       << ", \"p50_upper\": " << pool_latency_.quantile_upper_us(0.5)
+       << ", \"p99_upper\": " << pool_latency_.quantile_upper_us(0.99)
+       << ", \"log2_buckets\": [";
+    for (std::size_t i = 0; i < pool_latency_.counts.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << pool_latency_.counts[i];
+    }
+    os << "]}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+void RunManifest::write(const std::string& path) const {
+  std::ofstream out(path);
+  adc::common::require(out.good(), "RunManifest::write: cannot open " + path);
+  out << to_json();
+  out.flush();
+  adc::common::require(out.good(), "RunManifest::write: write failed for " + path);
+}
+
+std::optional<std::string> RunManifest::write_to_env_dir() const {
+  const char* dir = std::getenv("ADC_RUNTIME_MANIFEST_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  std::string path = std::string(dir) + "/" + run_name_ + "_manifest.json";
+  write(path);
+  return path;
+}
+
+}  // namespace adc::runtime

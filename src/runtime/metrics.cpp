@@ -1,0 +1,69 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ctime>
+
+namespace adc::runtime {
+
+std::uint64_t HistogramSnapshot::total() const {
+  std::uint64_t sum = 0;
+  for (const auto c : counts) sum += c;
+  return sum;
+}
+
+std::uint64_t HistogramSnapshot::quantile_upper_us(double q) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen > rank) return std::uint64_t{1} << (i + 1);
+  }
+  return std::uint64_t{1} << counts.size();
+}
+
+void LatencyHistogram::record(std::chrono::nanoseconds latency) noexcept {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(latency).count();
+  const auto magnitude = us <= 0 ? std::uint64_t{1} : static_cast<std::uint64_t>(us);
+  const auto bucket =
+      std::min<std::size_t>(static_cast<std::size_t>(std::bit_width(magnitude) - 1),
+                            kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+namespace {
+
+std::int64_t process_cpu_ns() {
+  // clock() measures process CPU (all threads) on POSIX; good enough to show
+  // cpu/wall > 1 under real parallelism, which is what the manifest reports.
+  return static_cast<std::int64_t>(static_cast<double>(std::clock()) /
+                                   static_cast<double>(CLOCKS_PER_SEC) * 1e9);
+}
+
+}  // namespace
+
+Stopwatch::Stopwatch()
+    : wall_start_(std::chrono::steady_clock::now()), cpu_start_ns_(process_cpu_ns()) {}
+
+double Stopwatch::wall_seconds() const {
+  const auto elapsed = std::chrono::steady_clock::now() - wall_start_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+double Stopwatch::cpu_seconds() const {
+  return static_cast<double>(process_cpu_ns() - cpu_start_ns_) / 1e9;
+}
+
+}  // namespace adc::runtime

@@ -1,0 +1,66 @@
+/// \file metrics.hpp
+/// Run telemetry primitives for the parallel runtime: a lock-free latency
+/// histogram, wall/CPU phase timers, and plain snapshot structs that the
+/// manifest layer serializes to JSON.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adc::runtime {
+
+/// Immutable copy of a LatencyHistogram, safe to pass across threads and
+/// into the manifest writer.
+struct HistogramSnapshot {
+  /// counts[i] holds samples with latency in [2^i, 2^(i+1)) microseconds;
+  /// counts[0] additionally absorbs sub-microsecond samples.
+  std::vector<std::uint64_t> counts;
+
+  [[nodiscard]] std::uint64_t total() const;
+  /// Upper bound (µs) of the bucket containing quantile `q` in [0, 1];
+  /// 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t quantile_upper_us(double q) const;
+};
+
+/// Log2-bucketed latency histogram over microseconds. `record` is wait-free
+/// (a single relaxed atomic increment) so workers can stamp every job.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::chrono::nanoseconds latency) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// One completed phase of a run: wall and CPU seconds plus an optional job
+/// count (0 = not a batched phase).
+struct PhaseTiming {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t jobs = 0;
+};
+
+/// Stopwatch capturing wall time (steady clock) and process CPU time from
+/// construction. CPU time covers the whole process, so with worker threads
+/// active cpu_seconds() > wall_seconds() indicates real parallelism.
+class Stopwatch {
+ public:
+  Stopwatch();
+  [[nodiscard]] double wall_seconds() const;
+  [[nodiscard]] double cpu_seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point wall_start_;
+  std::int64_t cpu_start_ns_ = 0;
+};
+
+}  // namespace adc::runtime

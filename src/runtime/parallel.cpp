@@ -1,0 +1,53 @@
+#include "runtime/parallel.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace adc::runtime {
+
+namespace {
+
+// Innermost ScopedThreadOverride for this thread (0 = none active).
+thread_local unsigned tl_thread_override = 0;
+
+unsigned parse_env_threads() {
+  const char* raw = std::getenv("ADC_RUNTIME_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || value == 0 || value > 1024) return 0;
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+unsigned default_thread_count() {
+  const unsigned from_env = parse_env_threads();
+  if (from_env > 0) return from_env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool& global_pool() {
+  // Sized once, on first parallel workload; ADC_RUNTIME_THREADS must be set
+  // before that point (normal for an environment variable).
+  static ThreadPool pool{ThreadPoolOptions{default_thread_count(), 4096}};
+  return pool;
+}
+
+ScopedThreadOverride::ScopedThreadOverride(unsigned threads)
+    : previous_(tl_thread_override) {
+  adc::common::require(threads >= 1, "ScopedThreadOverride: thread count must be >= 1");
+  tl_thread_override = threads;
+}
+
+ScopedThreadOverride::~ScopedThreadOverride() { tl_thread_override = previous_; }
+
+unsigned effective_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (tl_thread_override > 0) return tl_thread_override;
+  return default_thread_count();
+}
+
+}  // namespace adc::runtime

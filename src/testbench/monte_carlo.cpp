@@ -1,11 +1,11 @@
 #include "testbench/monte_carlo.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <cstddef>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "runtime/parallel.hpp"
 
 namespace adc::testbench {
 
@@ -28,30 +28,23 @@ MonteCarloResult run_monte_carlo(const adc::pipeline::AdcConfig& base, const Die
   adc::common::require(options.num_dies >= 1, "run_monte_carlo: need at least one die");
   adc::common::require(static_cast<bool>(metric), "run_monte_carlo: empty metric");
 
+  // Each die is one job keyed by (base config, first_seed + die): a pure
+  // function of its index, so the runtime's determinism contract makes the
+  // result vector bit-identical at any thread count. A throwing metric
+  // cancels the remaining dies and rethrows here, on the caller.
+  adc::runtime::BatchOptions batch;
+  batch.threads = options.threads > 0 ? static_cast<unsigned>(options.threads) : 0;
+
   MonteCarloResult result;
-  result.values.assign(static_cast<std::size_t>(options.num_dies), 0.0);
-
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const auto nthreads = static_cast<unsigned>(
-      options.threads > 0 ? static_cast<unsigned>(options.threads)
-                          : std::min<unsigned>(hw, static_cast<unsigned>(options.num_dies)));
-
-  std::atomic<int> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const int die = next.fetch_add(1);
-      if (die >= options.num_dies) return;
-      adc::pipeline::AdcConfig cfg = base;
-      cfg.seed = options.first_seed + static_cast<std::uint64_t>(die);
-      adc::pipeline::PipelineAdc converter(cfg);
-      result.values[static_cast<std::size_t>(die)] = metric(converter);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(nthreads);
-  for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  result.values = adc::runtime::parallel_map<double>(
+      static_cast<std::size_t>(options.num_dies),
+      [&base, &metric, &options](std::size_t die) {
+        adc::pipeline::AdcConfig cfg = base;
+        cfg.seed = options.first_seed + static_cast<std::uint64_t>(die);
+        adc::pipeline::PipelineAdc converter(cfg);
+        return metric(converter);
+      },
+      batch);
 
   result.mean = adc::common::mean(result.values);
   result.std_dev = adc::common::std_dev(result.values);

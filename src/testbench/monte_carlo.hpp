@@ -4,8 +4,11 @@
 /// An IP block (the paper's product) is sold against a datasheet that every
 /// die must meet: the seed of `AdcConfig` is the die, so yield analysis is a
 /// loop over seeds. The runner fabricates N dies, measures a user-supplied
-/// metric on each (in parallel), and reports the distribution plus the
-/// fraction meeting a limit.
+/// metric on each (in parallel on the shared runtime pool, see
+/// src/runtime/parallel.hpp), and reports the distribution plus the fraction
+/// meeting a limit. Results are in seed order and bit-identical at any
+/// thread count; a throwing metric cancels the remaining dies and the
+/// exception is rethrown on the calling thread.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +23,8 @@ namespace adc::testbench {
 struct MonteCarloOptions {
   int num_dies = 25;
   std::uint64_t first_seed = 1000;
-  /// Worker threads (0 = hardware concurrency).
+  /// Worker threads (0 = runtime default: ADC_RUNTIME_THREADS, an active
+  /// ScopedThreadOverride, or hardware concurrency — see runtime/parallel.hpp).
   int threads = 0;
 };
 

@@ -1,9 +1,11 @@
 #include "testbench/sweep.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "common/error.hpp"
 #include "dsp/signal.hpp"
+#include "runtime/parallel.hpp"
 
 namespace adc::testbench {
 
@@ -13,66 +15,67 @@ std::vector<SweepPoint> sweep_conversion_rate(const adc::pipeline::AdcConfig& ba
                                               double max_fin_fraction) {
   adc::common::require(max_fin_fraction > 0.0 && max_fin_fraction < 1.0,
                        "sweep_conversion_rate: fin fraction outside (0, 1)");
-  std::vector<SweepPoint> points;
-  points.reserve(rates_hz.size());
-  for (double rate : rates_hz) {
-    adc::pipeline::AdcConfig cfg = base;
-    cfg.conversion_rate = rate;
-    adc::pipeline::PipelineAdc adc(cfg);  // same seed: the same die, re-clocked
+  // One job per operating point, keyed by (base config+seed, rates_hz[i]);
+  // each re-instantiates the same die re-clocked, so points are independent
+  // and the runtime returns them in point order at any thread count.
+  return adc::runtime::parallel_map<SweepPoint>(
+      rates_hz.size(), [&base, &rates_hz, &options, max_fin_fraction](std::size_t i) {
+        const double rate = rates_hz[i];
+        adc::pipeline::AdcConfig cfg = base;
+        cfg.conversion_rate = rate;
+        adc::pipeline::PipelineAdc adc(cfg);  // same seed: the same die, re-clocked
 
-    DynamicTestOptions opt = options;
-    // Keep the tone inside the first Nyquist zone at low rates.
-    opt.target_fin_hz = std::min(options.target_fin_hz, max_fin_fraction * rate / 2.0);
+        DynamicTestOptions opt = options;
+        // Keep the tone inside the first Nyquist zone at low rates.
+        opt.target_fin_hz = std::min(options.target_fin_hz, max_fin_fraction * rate / 2.0);
 
-    SweepPoint p;
-    p.x = rate;
-    p.result = run_dynamic_test(adc, opt);
-    points.push_back(p);
-  }
-  return points;
+        SweepPoint p;
+        p.x = rate;
+        p.result = run_dynamic_test(adc, opt);
+        return p;
+      });
 }
 
 std::vector<SweepPoint> sweep_input_frequency(const adc::pipeline::AdcConfig& base,
                                               const std::vector<double>& fins_hz,
                                               const DynamicTestOptions& options) {
-  std::vector<SweepPoint> points;
-  points.reserve(fins_hz.size());
   const double fs = base.conversion_rate;
   const std::size_t n = options.record_length;
   const double bin_hz = fs / static_cast<double>(n);
 
-  for (double fin : fins_hz) {
-    adc::pipeline::PipelineAdc adc(base);  // same die for every point
+  return adc::runtime::parallel_map<SweepPoint>(
+      fins_hz.size(), [&base, &fins_hz, &options, fs, n, bin_hz](std::size_t i) {
+        const double fin = fins_hz[i];
+        adc::pipeline::PipelineAdc adc(base);  // same die for every point
 
-    // Snap to an odd coherent multiple of the bin spacing; above Nyquist the
-    // tone is captured under-sampled and analysed at its alias bin.
-    auto m = static_cast<std::size_t>(std::llround(fin / bin_hz));
-    if (m < 1) m = 1;
-    if (m % 2 == 0) ++m;
-    const double f_true = static_cast<double>(m) * bin_hz;
-    const double f_alias = adc::dsp::alias_frequency(f_true, fs);
-    const auto alias_bin = static_cast<std::size_t>(std::llround(f_alias / bin_hz));
-    adc::common::require(alias_bin >= 1 && alias_bin < n / 2,
-                         "sweep_input_frequency: tone aliases onto DC/Nyquist; "
-                         "pick a different frequency");
+        // Snap to an odd coherent multiple of the bin spacing; above Nyquist the
+        // tone is captured under-sampled and analysed at its alias bin.
+        auto m = static_cast<std::size_t>(std::llround(fin / bin_hz));
+        if (m < 1) m = 1;
+        if (m % 2 == 0) ++m;
+        const double f_true = static_cast<double>(m) * bin_hz;
+        const double f_alias = adc::dsp::alias_frequency(f_true, fs);
+        const auto alias_bin = static_cast<std::size_t>(std::llround(f_alias / bin_hz));
+        adc::common::require(alias_bin >= 1 && alias_bin < n / 2,
+                             "sweep_input_frequency: tone aliases onto DC/Nyquist; "
+                             "pick a different frequency");
 
-    const double amplitude = options.amplitude_fraction * adc.full_scale_vpp() / 2.0;
-    const adc::dsp::SineSignal tone(amplitude, f_true);
-    const auto codes = adc.convert(tone, n);
-    const auto volts =
-        adc::dsp::codes_to_volts(codes, adc.resolution_bits(), adc.full_scale_vpp());
+        const double amplitude = options.amplitude_fraction * adc.full_scale_vpp() / 2.0;
+        const adc::dsp::SineSignal tone(amplitude, f_true);
+        const auto codes = adc.convert(tone, n);
+        const auto volts =
+            adc::dsp::codes_to_volts(codes, adc.resolution_bits(), adc.full_scale_vpp());
 
-    adc::dsp::SpectrumOptions spec = options.spectrum;
-    spec.fundamental_bin = alias_bin;
-    spec.harmonic_base_hz = f_true;
+        adc::dsp::SpectrumOptions spec = options.spectrum;
+        spec.fundamental_bin = alias_bin;
+        spec.harmonic_base_hz = f_true;
 
-    SweepPoint p;
-    p.x = f_true;
-    p.result.tone = {f_true, m};
-    p.result.metrics = adc::dsp::analyze_tone(volts, fs, spec);
-    points.push_back(p);
-  }
-  return points;
+        SweepPoint p;
+        p.x = f_true;
+        p.result.tone = {f_true, m};
+        p.result.metrics = adc::dsp::analyze_tone(volts, fs, spec);
+        return p;
+      });
 }
 
 }  // namespace adc::testbench

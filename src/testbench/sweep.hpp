@@ -6,6 +6,12 @@
 /// seed, so every point measures the *same die* (identical Monte-Carlo
 /// draws) under different operating conditions — exactly what the paper's
 /// bench did with its single packaged part.
+///
+/// Points are measured in parallel on the shared runtime pool (one job per
+/// operating point, see src/runtime/parallel.hpp); the returned vector is
+/// always in input order and bit-identical at any thread count. A point that
+/// throws (e.g. a tone aliasing onto DC) cancels the remaining points and
+/// rethrows on the caller.
 #pragma once
 
 #include <vector>

@@ -61,6 +61,35 @@ TEST(MonteCarlo, SingleThreadMatchesParallel) {
   EXPECT_EQ(a.values, b.values);
 }
 
+TEST(MonteCarlo, ThrowingMetricPropagatesToCaller) {
+  // Regression: the pre-runtime thread spawn std::terminate'd the process
+  // when a DieMetric threw inside a worker. The runtime port must capture
+  // the exception and rethrow it on the calling thread, serial and parallel.
+  const auto faulty = [](ap::PipelineAdc& adc) -> double {
+    if (adc.config().seed == 1003) {
+      throw adc::common::MeasurementError("die 1003: no fundamental tone");
+    }
+    return quick_sndr(adc);
+  };
+  for (const int threads : {1, 4}) {
+    tb::MonteCarloOptions opt;
+    opt.num_dies = 8;
+    opt.first_seed = 1000;
+    opt.threads = threads;
+    try {
+      (void)tb::run_monte_carlo(ap::nominal_design(), faulty, opt);
+      FAIL() << "expected MeasurementError at threads=" << threads;
+    } catch (const adc::common::MeasurementError& e) {
+      EXPECT_STREQ(e.what(), "die 1003: no fundamental tone");
+    }
+  }
+  // The runner still works after a failed run.
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 3;
+  const auto ok = tb::run_monte_carlo(ap::nominal_design(), quick_sndr, opt);
+  EXPECT_EQ(ok.values.size(), 3u);
+}
+
 TEST(MonteCarlo, RejectsBadInput) {
   tb::MonteCarloOptions opt;
   opt.num_dies = 0;

@@ -1,12 +1,16 @@
 /// Unit tests for the measurement harness (dynamic test, static test,
 /// sweeps) against converters with known properties.
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "pipeline/design.hpp"
+#include "runtime/parallel.hpp"
 #include "testbench/dynamic_test.hpp"
 #include "testbench/static_test.hpp"
 #include "testbench/sweep.hpp"
@@ -148,4 +152,74 @@ TEST(Sweep, SameDieAcrossPoints) {
   const auto a = tb::sweep_conversion_rate(cfg, {110e6}, opt);
   const auto b = tb::sweep_conversion_rate(cfg, {110e6}, opt);
   EXPECT_DOUBLE_EQ(a[0].result.metrics.sndr_db, b[0].result.metrics.sndr_db);
+}
+
+namespace {
+
+// Bit-pattern equality: the runtime's determinism contract promises results
+// identical to the last ULP, not merely "close".
+void expect_bit_identical(const std::vector<tb::SweepPoint>& a,
+                          const std::vector<tb::SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(bits(a[i].x), bits(b[i].x)) << "point " << i;
+    EXPECT_EQ(bits(a[i].result.metrics.snr_db), bits(b[i].result.metrics.snr_db)) << i;
+    EXPECT_EQ(bits(a[i].result.metrics.sndr_db), bits(b[i].result.metrics.sndr_db)) << i;
+    EXPECT_EQ(bits(a[i].result.metrics.sfdr_db), bits(b[i].result.metrics.sfdr_db)) << i;
+  }
+}
+
+}  // namespace
+
+TEST(Sweep, RateSweepBitIdenticalAcrossThreadCounts) {
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 11;
+  const auto cfg = ap::nominal_design();
+  const std::vector<double> rates{20e6, 60e6, 110e6, 140e6};
+  std::vector<tb::SweepPoint> serial;
+  std::vector<tb::SweepPoint> parallel;
+  {
+    const adc::runtime::ScopedThreadOverride pin(1);
+    serial = tb::sweep_conversion_rate(cfg, rates, opt);
+  }
+  {
+    const adc::runtime::ScopedThreadOverride pin(4);
+    parallel = tb::sweep_conversion_rate(cfg, rates, opt);
+  }
+  expect_bit_identical(serial, parallel);
+  // Repeated parallel runs are stable too (no hidden shared state).
+  {
+    const adc::runtime::ScopedThreadOverride pin(4);
+    expect_bit_identical(parallel, tb::sweep_conversion_rate(cfg, rates, opt));
+  }
+}
+
+TEST(Sweep, FinSweepBitIdenticalAcrossThreadCounts) {
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 11;
+  const auto cfg = ap::nominal_design();
+  const std::vector<double> fins{5e6, 20e6, 40e6, 70e6};
+  std::vector<tb::SweepPoint> serial;
+  std::vector<tb::SweepPoint> parallel;
+  {
+    const adc::runtime::ScopedThreadOverride pin(1);
+    serial = tb::sweep_input_frequency(cfg, fins, opt);
+  }
+  {
+    const adc::runtime::ScopedThreadOverride pin(4);
+    parallel = tb::sweep_input_frequency(cfg, fins, opt);
+  }
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(Sweep, ParallelPointFailurePropagates) {
+  // A point whose re-clocked config is invalid throws inside a runtime
+  // worker; the batch must rethrow the ConfigError on the caller instead of
+  // terminating (the old detached-thread behavior).
+  tb::DynamicTestOptions opt;
+  opt.record_length = 1 << 11;
+  EXPECT_THROW(
+      (void)tb::sweep_conversion_rate(ap::ideal_design(), {40e6, -110e6, 20e6}, opt),
+      adc::common::ConfigError);
 }

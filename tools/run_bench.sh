@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the google-benchmark perf suite and write a machine-readable JSON
+# result (BENCH_runtime.json by default) — the repo's performance trajectory
+# artifact, uploaded by CI on every push.
+#
+# Usage: tools/run_bench.sh [output.json]
+#   BUILD_DIR           build tree to use (default: build)
+#   ADC_RUNTIME_THREADS worker-thread override for the parallel benchmarks
+#   ADC_BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_runtime.json}"
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="$BUILD_DIR/bench/perf_simulator"
+
+if [ ! -x "$BIN" ]; then
+  echo "run_bench.sh: building $BIN" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" --target perf_simulator -j
+fi
+
+"$BIN" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_filter="${ADC_BENCH_FILTER:-.*}" \
+  --benchmark_counters_tabular=true
+
+echo "run_bench.sh: wrote $OUT"
