@@ -15,18 +15,4 @@ Comparator::Comparator(const ComparatorSpec& spec, adc::common::Rng& rng)
   adc::common::require(spec.metastable_window >= 0.0, "Comparator: negative metastable window");
 }
 
-bool Comparator::decide(double v) {
-  return decide_with_threshold(v, spec_.threshold);
-}
-
-bool Comparator::decide_with_threshold(double v, double threshold) {
-  const double noisy = v + (spec_.noise_rms > 0.0 ? noise_rng_.gaussian(spec_.noise_rms) : 0.0);
-  const double margin = noisy - (threshold + offset_);
-  if (std::abs(margin) < spec_.metastable_window) {
-    // Unresolved regeneration: the latch falls to a random side.
-    return noise_rng_.bernoulli(0.5);
-  }
-  return margin > 0.0;
-}
-
 }  // namespace adc::analog

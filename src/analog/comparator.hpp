@@ -8,6 +8,8 @@
 /// tests verify the redundancy claim by sweeping the offset to the edge.
 #pragma once
 
+#include <cmath>
+
 #include "common/random.hpp"
 #include "common/units.hpp"
 
@@ -33,13 +35,24 @@ class Comparator {
 
   /// Compare `v` against the effective threshold. Noisy and possibly
   /// metastable: not const because it consumes random draws.
-  [[nodiscard]] bool decide(double v);
+  [[nodiscard]] bool decide(double v) { return decide_with_threshold(v, spec_.threshold); }
 
   /// Compare against an externally supplied threshold (plus this
   /// comparator's offset). Used when the threshold is derived from a
   /// reference that drifts sample to sample: threshold generation and DAC
   /// share the reference in silicon, so both must see the same value.
-  [[nodiscard]] bool decide_with_threshold(double v, double threshold);
+  /// Lives in the header: the pipeline makes ~20 decisions per sample and
+  /// the body is a handful of flops around one noise draw.
+  [[nodiscard]] bool decide_with_threshold(double v, double threshold) {
+    const double noisy =
+        v + (spec_.noise_rms > 0.0 ? noise_rng_.gaussian(spec_.noise_rms) : 0.0);
+    const double margin = noisy - (threshold + offset_);
+    if (std::abs(margin) < spec_.metastable_window) {
+      // Unresolved regeneration: the latch falls to a random side.
+      return noise_rng_.bernoulli(0.5);
+    }
+    return margin > 0.0;
+  }
 
   /// Effective threshold including the drawn offset [V].
   [[nodiscard]] double effective_threshold() const { return spec_.threshold + offset_; }

@@ -20,18 +20,4 @@ HoldLeakage HoldLeakage::none() {
   return HoldLeakage(spec, 1.0, 1.0);
 }
 
-double HoldLeakage::differential_droop(double v_diff, double t_hold, double c_hold) const {
-  if (spec_.i0 <= 0.0 || t_hold <= 0.0) return 0.0;
-  // Per-side node voltages relative to the reference point u0.
-  const double dp = 0.5 * v_diff;
-  const double dn = -0.5 * v_diff;
-  const double ip = spec_.i0 * scale_p_ * (1.0 + spec_.k_v * dp);
-  const double in = spec_.i0 * scale_n_ * (1.0 + spec_.k_v * dn);
-  // Both sides discharge towards ground: each node loses i*t/C; the
-  // differential value loses the *difference* of the two droops.
-  const double droop_p = ip * t_hold / c_hold;
-  const double droop_n = in * t_hold / c_hold;
-  return droop_p - droop_n;
-}
-
 }  // namespace adc::analog

@@ -39,8 +39,21 @@ class HoldLeakage {
 
   /// Differential droop [V] accumulated over `t_hold` seconds on per-side
   /// hold capacitance `c_hold` [F] while holding differential value `v_diff`
-  /// around common mode u0.
-  [[nodiscard]] double differential_droop(double v_diff, double t_hold, double c_hold) const;
+  /// around common mode u0. In the header: one call per stage per sample,
+  /// all straight-line arithmetic.
+  [[nodiscard]] double differential_droop(double v_diff, double t_hold, double c_hold) const {
+    if (spec_.i0 <= 0.0 || t_hold <= 0.0) return 0.0;
+    // Per-side node voltages relative to the reference point u0.
+    const double dp = 0.5 * v_diff;
+    const double dn = -0.5 * v_diff;
+    const double ip = spec_.i0 * scale_p_ * (1.0 + spec_.k_v * dp);
+    const double in = spec_.i0 * scale_n_ * (1.0 + spec_.k_v * dn);
+    // Both sides discharge towards ground: each node loses i*t/C; the
+    // differential value loses the *difference* of the two droops.
+    const double droop_p = ip * t_hold / c_hold;
+    const double droop_n = in * t_hold / c_hold;
+    return droop_p - droop_n;
+  }
 
   [[nodiscard]] const LeakageSpec& spec() const { return spec_; }
 

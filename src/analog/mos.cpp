@@ -33,7 +33,8 @@ MosParams MosParams::pmos_018(double w_over_l) {
   return m;
 }
 
-Mos::Mos(const MosParams& params) : params_(params) {
+Mos::Mos(const MosParams& params)
+    : params_(params), sqrt_two_phi_f_(std::sqrt(params.two_phi_f)) {
   adc::common::require(params.w_over_l > 0.0, "Mos: W/L must be positive");
   adc::common::require(params.kp > 0.0, "Mos: kp must be positive");
 }
@@ -41,7 +42,7 @@ Mos::Mos(const MosParams& params) : params_(params) {
 double Mos::vth(double vsb) const {
   if (vsb < 0.0) vsb = 0.0;
   return params_.vth0 +
-         params_.gamma * (std::sqrt(params_.two_phi_f + vsb) - std::sqrt(params_.two_phi_f));
+         params_.gamma * (std::sqrt(params_.two_phi_f + vsb) - sqrt_two_phi_f_);
 }
 
 double Mos::id_sat(double vov) const {

@@ -54,6 +54,10 @@ class Mos {
 
  private:
   MosParams params_;
+  /// Hoisted sqrt(two_phi_f): the body-effect formula subtracts this
+  /// constant on every vth() call, and vth() sits on the per-sample
+  /// tracking path (several calls per conversion).
+  double sqrt_two_phi_f_;
 };
 
 }  // namespace adc::analog

@@ -1,6 +1,7 @@
 #include "analog/opamp.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -41,17 +42,32 @@ SettleResult Opamp::settle(double target, double t_settle, double beta, double i
   ADC_EXPECT(std::isfinite(ibias) && ibias >= 0.0, "Opamp::settle: bad bias current");
   SettleResult r;
 
+  // Refresh the (beta, ibias)-invariant terms when either argument changes
+  // bit pattern (every sample under bias ripple, once per converter
+  // otherwise).
+  const auto beta_bits = std::bit_cast<std::uint64_t>(beta);
+  const auto ibias_bits = std::bit_cast<std::uint64_t>(ibias);
+  if (!settle_cache_valid_ || beta_bits != settle_beta_bits_ ||
+      ibias_bits != settle_ibias_bits_) {
+    const double loop_gain = params_.dc_gain * beta;
+    settle_gain_denom_ = 1.0 + 1.0 / loop_gain;
+    settle_tau0_ = time_constant(beta, ibias);
+    settle_sr_ = slew_at_bias(ibias);
+    settle_beta_bits_ = beta_bits;
+    settle_ibias_bits_ = ibias_bits;
+    settle_cache_valid_ = true;
+  }
+
   // Finite-gain static error: the loop settles to target/(1 + 1/(A0*beta)).
-  const double loop_gain = params_.dc_gain * beta;
-  const double final_value = target / (1.0 + 1.0 / loop_gain);
+  const double final_value = target / settle_gain_denom_;
   r.static_error = target - final_value;
 
   // gm compression makes tau grow with output amplitude: the settling error
   // becomes signal-dependent near the speed limit (odd-order distortion).
   const double swing_frac =
       std::min(std::abs(final_value) / params_.output_swing, 1.0);
-  const double tau = time_constant(beta, ibias) * (1.0 + params_.gm_compression * swing_frac);
-  const double sr = slew_at_bias(ibias);
+  const double tau = settle_tau0_ * (1.0 + params_.gm_compression * swing_frac);
+  const double sr = settle_sr_;
 
   const double mag = std::abs(final_value);
   const double sign = final_value < 0.0 ? -1.0 : 1.0;

@@ -16,6 +16,8 @@
 ///  * output swing clipping.
 #pragma once
 
+#include <cstdint>
+
 #include "common/units.hpp"
 
 namespace adc::analog {
@@ -67,6 +69,21 @@ class Opamp {
 
  private:
   OpampParams params_;
+
+  /// settle() is called once per stage per sample with a (beta, ibias) pair
+  /// that only changes when the bias ripples, so the derived terms — the
+  /// finite-gain denominator, the base time constant (a sqrt + division
+  /// chain) and the slew rate — are cached on the arguments' exact bit
+  /// patterns. A recompute on any bit change keeps every settle() result
+  /// bit-identical to the uncached code. The cache makes settle() logically
+  /// const but not safe against concurrent calls on one instance; converters
+  /// are single-threaded objects (the parallel runtime builds one per task).
+  mutable std::uint64_t settle_beta_bits_ = 0;
+  mutable std::uint64_t settle_ibias_bits_ = 0;
+  mutable bool settle_cache_valid_ = false;
+  mutable double settle_gain_denom_ = 0.0;  ///< 1 + 1/(A0*beta)
+  mutable double settle_tau0_ = 0.0;        ///< time_constant(beta, ibias)
+  mutable double settle_sr_ = 0.0;          ///< slew_at_bias(ibias)
 };
 
 }  // namespace adc::analog

@@ -1,5 +1,6 @@
 #include "analog/refbuffer.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -35,10 +36,18 @@ void ReferenceBuffer::consume(double activity, double period_s) {
   // Charge dumped on the decap this conversion.
   const double dv = activity * spec_.charge_per_event / spec_.decap_farad;
   droop_ += dv;
-  // The buffer recharges the decap with time constant Rout*Cdecap.
+  // The buffer recharges the decap with time constant Rout*Cdecap. The
+  // period is the same on every call of a capture, so the exp() is cached on
+  // the period's exact bit pattern (recomputing it for a new period keeps
+  // the factor bit-identical to the uncached code).
   if (spec_.output_resistance > 0.0 && period_s > 0.0) {
-    const double tau = spec_.output_resistance * spec_.decap_farad;
-    droop_ *= std::exp(-period_s / tau);
+    const auto period_bits = std::bit_cast<std::uint64_t>(period_s);
+    if (period_bits != recharge_period_bits_) {
+      const double tau = spec_.output_resistance * spec_.decap_farad;
+      recharge_factor_ = std::exp(-period_s / tau);
+      recharge_period_bits_ = period_bits;
+    }
+    droop_ *= recharge_factor_;
   } else {
     droop_ = 0.0;
   }

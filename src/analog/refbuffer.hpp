@@ -9,6 +9,8 @@
 /// signal-dependent reference — a second-order distortion contributor.
 #pragma once
 
+#include <cstdint>
+
 #include "common/random.hpp"
 #include "common/units.hpp"
 
@@ -59,6 +61,13 @@ class ReferenceBuffer {
   RefBufferSpec spec_;
   double level_error_;
   double droop_ = 0.0;
+  /// Recharge factor exp(-period/tau) cached on the period's bit pattern:
+  /// the conversion kernel calls consume() with the same period every
+  /// sample, so the exp() is paid once per capture, not per sample. 0 (the
+  /// bit pattern of +0.0) is a safe sentinel — consume() only reaches the
+  /// cache for period_s > 0.
+  std::uint64_t recharge_period_bits_ = 0;
+  double recharge_factor_ = 0.0;
 };
 
 }  // namespace adc::analog

@@ -11,7 +11,9 @@ namespace adc::analog {
 SwitchModel::SwitchModel(const SwitchConfig& config)
     : config_(config),
       nmos_(MosParams::nmos_018(config.w_over_l_nmos)),
-      pmos_(MosParams::pmos_018(config.w_over_l_pmos)) {
+      pmos_(MosParams::pmos_018(config.w_over_l_pmos)),
+      nmos_vth0_(nmos_.vth(0.0)),
+      pmos_vth0_(pmos_.vth(0.0)) {
   adc::common::require(config.vdd > 0.5, "SwitchModel: VDD too low");
   adc::common::require(config.cj0 >= 0.0, "SwitchModel: negative junction cap");
 }
@@ -33,9 +35,10 @@ double SwitchModel::g_on(double u) const {
       // VDD, so the source-to-bulk voltage is VDD-u and the body effect
       // raises |Vth| exactly where the PMOS is needed most. Bulk switching
       // ties the well to the source when on: vsb = 0.
-      const double vsb_p =
-          config_.type == SwitchType::kBulkSwitchedTg ? 0.0 : config_.vdd - u;
-      const double vov_p = u - pmos_.vth(vsb_p);
+      const double vth_p = config_.type == SwitchType::kBulkSwitchedTg
+                               ? pmos_vth0_
+                               : pmos_.vth(config_.vdd - u);
+      const double vov_p = u - vth_p;
       g = nmos_.g_on(vov_n) + pmos_.g_on(vov_p);
       break;
     }
@@ -43,7 +46,7 @@ double SwitchModel::g_on(double u) const {
       // Gate tracks source + VDD: constant overdrive, no body-effect
       // modulation of the drive (the bulk still follows the source in a
       // well-designed bootstrap).
-      const double vov = config_.vdd - nmos_.vth(0.0);
+      const double vov = config_.vdd - nmos_vth0_;
       g = nmos_.g_on(vov);
       break;
     }
@@ -99,16 +102,17 @@ double SwitchModel::channel_charge(double u) const {
     }
     case SwitchType::kTransmissionGate:
     case SwitchType::kBulkSwitchedTg: {
-      const double vsb_p =
-          config_.type == SwitchType::kBulkSwitchedTg ? 0.0 : config_.vdd - u;
+      const double vth_p = config_.type == SwitchType::kBulkSwitchedTg
+                               ? pmos_vth0_
+                               : pmos.vth(config_.vdd - u);
       q -= cch_n * soft_overdrive(config_.vdd - u - nmos.vth(u), soft);
-      q += cch_p * soft_overdrive(u - pmos.vth(vsb_p), soft);  // holes
+      q += cch_p * soft_overdrive(u - vth_p, soft);  // holes
       break;
     }
     case SwitchType::kBootstrapped: {
       // Constant overdrive: constant charge, no signal dependence (and a
       // well-designed bootstrap adds a dummy to cancel even that).
-      q -= cch_n * (config_.vdd - nmos.vth(0.0));
+      q -= cch_n * (config_.vdd - nmos_vth0_);
       break;
     }
   }

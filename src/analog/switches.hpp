@@ -91,6 +91,12 @@ class SwitchModel {
   SwitchConfig config_;
   Mos nmos_;
   Mos pmos_;
+  /// Hoisted zero-vsb thresholds. The bulk-switched TG (paper topology)
+  /// always sees vsb = 0 on the PMOS and the bootstrapped switch always
+  /// evaluates the NMOS at vsb = 0, so these are loop invariants of the
+  /// per-sample tracking path.
+  double nmos_vth0_;
+  double pmos_vth0_;
 };
 
 /// Differential sampling front-end built from two matched switches, one per

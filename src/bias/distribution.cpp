@@ -14,10 +14,6 @@ MirrorBank::MirrorBank(const MirrorBankSpec& spec, adc::common::Rng& rng) {
   }
 }
 
-double MirrorBank::leg_current(std::size_t i, double master_current) const {
-  return gains_.at(i) * master_current;
-}
-
 std::vector<double> MirrorBank::currents(double master_current) const {
   std::vector<double> out(gains_.size());
   for (std::size_t i = 0; i < gains_.size(); ++i) out[i] = gains_[i] * master_current;

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/random.hpp"
 
 namespace adc::bias {
@@ -30,8 +31,13 @@ class MirrorBank {
   /// Number of legs.
   [[nodiscard]] std::size_t size() const { return gains_.size(); }
 
-  /// Current of leg `i` [A] given the master current.
-  [[nodiscard]] double leg_current(std::size_t i, double master_current) const;
+  /// Current of leg `i` [A] given the master current. Called once per stage
+  /// per sample, so it lives in the header: one multiply, with the bounds
+  /// check compiled out in release builds.
+  [[nodiscard]] double leg_current(std::size_t i, double master_current) const {
+    ADC_EXPECT(i < gains_.size(), "MirrorBank::leg_current: leg index out of range");
+    return gains_[i] * master_current;
+  }
 
   /// All leg currents [A].
   [[nodiscard]] std::vector<double> currents(double master_current) const;

@@ -19,9 +19,9 @@ CalibrationTable CalibrationTable::nominal(int num_stages, int flash_bits) {
   const int bits = num_stages + flash_bits;
   t.stage_weights.resize(static_cast<std::size_t>(num_stages));
   for (int i = 0; i < num_stages; ++i) {
-    t.stage_weights[static_cast<std::size_t>(i)] = std::pow(2.0, bits - 2 - i);
+    t.stage_weights[static_cast<std::size_t>(i)] = std::ldexp(1.0, bits - 2 - i);
   }
-  t.offset = std::pow(2.0, bits - 1) - std::pow(2.0, flash_bits - 1);
+  t.offset = std::ldexp(1.0, bits - 1) - std::ldexp(1.0, flash_bits - 1);
   return t;
 }
 
@@ -64,7 +64,7 @@ CalibrationTable ForegroundCalibrator::calibrate(adc::pipeline::PipelineAdc& adc
   // error averages to zero even on a noiseless die (the role dither plays
   // in production foreground calibration).
   const double lsb_in =
-      adc.full_scale_vpp() / std::pow(2.0, static_cast<double>(num_stages) + flash_bits);
+      adc.full_scale_vpp() / std::ldexp(1.0, static_cast<int>(num_stages) + flash_bits);
 
   // Calibrate the front (MSB) stages only, deepest of them first, so every
   // measurement's backend is either already-measured weights or the nominal
@@ -78,7 +78,7 @@ CalibrationTable ForegroundCalibrator::calibrate(adc::pipeline::PipelineAdc& adc
   for (std::size_t i = last; i-- > 0;) {
     // Put stage i's input at its +V_REF/4 decision boundary: with stages
     // 0..i-1 forced to code 0, the chain is a clean x2^i amplifier there.
-    const double v_test = vref / 4.0 / std::pow(2.0, static_cast<double>(i));
+    const double v_test = vref / 4.0 / std::ldexp(1.0, static_cast<int>(i));
     for (std::size_t j = 0; j < i; ++j) adc.force_stage_code(j, StageCode::kZero);
 
     double y_zero = 0.0;
@@ -123,7 +123,7 @@ double CalibratedReconstructor::reconstruct(const RawConversion& raw) const {
 }
 
 int CalibratedReconstructor::code(const RawConversion& raw) const {
-  const double max_code = std::pow(2.0, table_.resolution_bits()) - 1.0;
+  const double max_code = std::ldexp(1.0, table_.resolution_bits()) - 1.0;
   double d = std::round(reconstruct(raw));
   if (d < 0.0) d = 0.0;
   if (d > max_code) d = max_code;

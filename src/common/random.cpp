@@ -29,8 +29,6 @@ Rng Rng::child(std::string_view tag, std::uint64_t index) const {
   return Rng(h);
 }
 
-double Rng::gaussian(double sigma) { return sigma * normal_(engine_); }
-
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> dist(lo, hi);
   return dist(engine_);

@@ -6,6 +6,8 @@ namespace adc::digital {
 
 DelayAlignment::DelayAlignment(int num_stages) : num_stages_(num_stages) {
   adc::common::require(num_stages >= 1, "DelayAlignment: need at least one stage");
+  adc::common::require(static_cast<std::size_t>(num_stages) <= StageCodeVec::kCapacity,
+                       "DelayAlignment: stage count exceeds code capacity");
 }
 
 int DelayAlignment::latency_cycles() const {
@@ -28,20 +30,23 @@ int DelayAlignment::register_bit_count() const {
 std::optional<RawConversion> DelayAlignment::push(RawConversion raw) {
   adc::common::require(static_cast<int>(raw.stage_codes.size()) == num_stages_,
                        "DelayAlignment: stage-code count mismatch");
-  fifo_.push_back(std::move(raw));
-  if (static_cast<int>(fifo_.size()) <= latency_cycles()) return std::nullopt;
-  RawConversion out = std::move(fifo_.front());
-  fifo_.pop_front();
-  return out;
+  fifo_[(head_ + count_) % kFifoCapacity] = raw;
+  ++count_;
+  if (static_cast<int>(count_) <= latency_cycles()) return std::nullopt;
+  return flush();
 }
 
 std::optional<RawConversion> DelayAlignment::flush() {
-  if (fifo_.empty()) return std::nullopt;
-  RawConversion out = std::move(fifo_.front());
-  fifo_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  RawConversion out = fifo_[head_];
+  head_ = (head_ + 1) % kFifoCapacity;
+  --count_;
   return out;
 }
 
-void DelayAlignment::reset() { fifo_.clear(); }
+void DelayAlignment::reset() {
+  head_ = 0;
+  count_ = 0;
+}
 
 }  // namespace adc::digital

@@ -10,8 +10,8 @@
 /// at output clock n + latency_cycles().
 #pragma once
 
+#include <array>
 #include <cstddef>
-#include <deque>
 #include <optional>
 
 #include "digital/codes.hpp"
@@ -46,8 +46,17 @@ class DelayAlignment {
   [[nodiscard]] int num_stages() const { return num_stages_; }
 
  private:
+  /// The register file holds at most latency_cycles() + 1 words during a
+  /// push, and latency is bounded by the stage-count cap baked into
+  /// StageCodeVec: (20 + 3) / 2 + 1 = 12. A fixed ring buffer keeps the
+  /// per-sample push/pop free of heap traffic (a std::deque node allocation
+  /// per conversion on the hot path before this).
+  static constexpr std::size_t kFifoCapacity = 16;
+
   int num_stages_;
-  std::deque<RawConversion> fifo_;
+  std::array<RawConversion, kFifoCapacity> fifo_{};
+  std::size_t head_ = 0;   ///< index of the oldest buffered conversion
+  std::size_t count_ = 0;  ///< number of buffered conversions
 };
 
 }  // namespace adc::digital

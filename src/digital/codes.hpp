@@ -2,8 +2,11 @@
 /// Raw digital codes produced by the pipeline's sub-converters.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "common/error.hpp"
 
 namespace adc::digital {
 
@@ -22,10 +25,63 @@ enum class StageCode : std::int8_t {
 /// Output of the 2-bit back-end flash: 0..3.
 using FlashCode = std::uint8_t;
 
+/// Fixed-capacity inline vector of stage codes.
+///
+/// A pipeline's stage count is bounded by the correction logic's resolution
+/// cap (`num_stages + flash_bits <= 20`), so the codes of one sample always
+/// fit in 20 bytes of inline storage. Holding them inline keeps the
+/// per-sample `RawConversion` off the heap entirely — the conversion kernel
+/// produces one of these per sample, and a heap vector here was one of the
+/// two allocations on the hot path. The interface mirrors the subset of
+/// `std::vector` the digital blocks and tests use.
+class StageCodeVec {
+ public:
+  static constexpr std::size_t kCapacity = 20;
+
+  using value_type = StageCode;
+  using iterator = StageCode*;
+  using const_iterator = const StageCode*;
+
+  StageCodeVec() = default;
+
+  /// Compatibility no-op (storage is inline); still validates the request.
+  void reserve(std::size_t n) const {
+    adc::common::require(n <= kCapacity, "StageCodeVec: capacity exceeded");
+  }
+
+  void push_back(StageCode c) {
+    adc::common::require(size_ < kCapacity, "StageCodeVec: capacity exceeded");
+    codes_[size_++] = c;
+  }
+
+  void assign(std::size_t n, StageCode c) {
+    adc::common::require(n <= kCapacity, "StageCodeVec: capacity exceeded");
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) codes_[i] = c;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] StageCode& operator[](std::size_t i) { return codes_[i]; }
+  [[nodiscard]] const StageCode& operator[](std::size_t i) const { return codes_[i]; }
+
+  [[nodiscard]] iterator begin() { return codes_.data(); }
+  [[nodiscard]] iterator end() { return codes_.data() + size_; }
+  [[nodiscard]] const_iterator begin() const { return codes_.data(); }
+  [[nodiscard]] const_iterator end() const { return codes_.data() + size_; }
+
+ private:
+  std::array<StageCode, kCapacity> codes_{};
+  std::size_t size_ = 0;
+};
+
 /// The complete raw digital word for one sample before error correction.
 struct RawConversion {
-  std::vector<StageCode> stage_codes;  ///< one per 1.5-bit stage, MSB first
-  FlashCode flash_code = 0;            ///< 2-bit back end
+  StageCodeVec stage_codes;  ///< one per 1.5-bit stage, MSB first
+  FlashCode flash_code = 0;  ///< 2-bit back end
 };
 
 }  // namespace adc::digital

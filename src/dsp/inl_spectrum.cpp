@@ -45,7 +45,7 @@ InlSpectrumResult predict_harmonics_from_inl(std::span<const double> inl_lsb, in
   r.harmonic_dbc.assign(static_cast<std::size_t>(max_harmonic) + 1, -300.0);
   // Signal amplitude on the code axis: amplitude_fraction * 2^(bits-1) LSB.
   const double signal_power =
-      std::pow(amplitude_fraction * std::pow(2.0, bits - 1), 2.0) / 2.0;
+      std::pow(amplitude_fraction * std::ldexp(1.0, bits - 1), 2.0) / 2.0;
   double thd_power = 0.0;
   r.worst_dbc = -300.0;
   for (int h = 2; h <= max_harmonic; ++h) {

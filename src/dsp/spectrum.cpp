@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/window.hpp"
 
 namespace adc::dsp {
 
@@ -22,7 +23,7 @@ double alias_frequency(double f, double fs) {
 
 std::vector<double> codes_to_volts(std::span<const int> codes, int bits, double full_scale_vpp) {
   require(bits >= 1 && bits <= 24, "codes_to_volts: unreasonable bit count");
-  const double levels = std::pow(2.0, bits);
+  const double levels = std::ldexp(1.0, bits);
   const double lsb = full_scale_vpp / levels;
   const double mid = (levels - 1.0) / 2.0;
   std::vector<double> volts(codes.size());
@@ -76,11 +77,11 @@ SpectrumMetrics analyze_tone(std::span<const double> samples, double sample_rate
   // gain (Parseval: the windowed tone's total spectral power is
   // P_tone * sum(w^2)/n, independent of where the tone sits between bins).
   // Noise corrects by the same factor, so all ratios are consistent.
-  const auto window = make_window(options.window, n);
-  const double ng = noise_gain(window);
+  const auto window = shared_window(options.window, n);
   std::vector<double> data(samples.begin(), samples.end());
-  apply_window(data, window);
-  return analyze_power_spectrum(power_spectrum(data), n, sample_rate_hz, ng, options);
+  apply_window(data, window->coeff);
+  return analyze_power_spectrum(power_spectrum(data), n, sample_rate_hz, window->noise_gain,
+                                options);
 }
 
 SpectrumMetrics analyze_tone_averaged(const std::vector<std::vector<double>>& records,
@@ -89,19 +90,18 @@ SpectrumMetrics analyze_tone_averaged(const std::vector<std::vector<double>>& re
   const std::size_t n = records.front().size();
   require(n >= 16 && adc::common::is_power_of_two(n),
           "analyze_tone_averaged: record length must be a power of two >= 16");
-  const auto window = make_window(options.window, n);
-  const double ng = noise_gain(window);
+  const auto window = shared_window(options.window, n);
   std::vector<double> avg(n / 2 + 1, 0.0);
   for (const auto& record : records) {
     require(record.size() == n, "analyze_tone_averaged: record lengths differ");
     std::vector<double> data(record.begin(), record.end());
-    apply_window(data, window);
+    apply_window(data, window->coeff);
     const auto ps = power_spectrum(data);
     for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += ps[k];
   }
   const double inv = 1.0 / static_cast<double>(records.size());
   for (auto& v : avg) v *= inv;
-  return analyze_power_spectrum(avg, n, sample_rate_hz, ng, options);
+  return analyze_power_spectrum(avg, n, sample_rate_hz, window->noise_gain, options);
 }
 
 namespace {

@@ -1,7 +1,10 @@
 #include "dsp/window.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -42,6 +45,23 @@ std::vector<double> make_window(WindowType type, std::size_t n) {
     }
   }
   return w;
+}
+
+std::shared_ptr<const WindowTable> shared_window(WindowType type, std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::pair<WindowType, std::size_t>, std::shared_ptr<const WindowTable>> cache;
+  const auto key = std::make_pair(type, n);
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto table = std::make_shared<WindowTable>();
+  table->coeff = make_window(type, n);
+  table->coherent_gain = coherent_gain(table->coeff);
+  table->noise_gain = noise_gain(table->coeff);
+  const std::lock_guard<std::mutex> lock(mutex);
+  return cache.emplace(key, std::move(table)).first->second;
 }
 
 double coherent_gain(std::span<const double> window) {

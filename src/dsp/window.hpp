@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +26,19 @@ enum class WindowType {
 
 /// Generate the window coefficients of length n (n >= 1).
 [[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// One cached window realization: the coefficients plus the gains every
+/// spectral measurement needs. Immutable and shared between threads.
+struct WindowTable {
+  std::vector<double> coeff;
+  double coherent_gain = 1.0;  ///< sum(w)/n
+  double noise_gain = 1.0;     ///< sum(w^2)/n
+};
+
+/// Process-wide cached window for (type, n). A sweep reanalyzes records of
+/// one length ~15 times; the trig to build the window (and the gain sums) is
+/// paid once.
+[[nodiscard]] std::shared_ptr<const WindowTable> shared_window(WindowType type, std::size_t n);
 
 /// Coherent gain: sum(w)/n. Scales tone amplitudes measured through the window.
 [[nodiscard]] double coherent_gain(std::span<const double> window);

@@ -161,17 +161,32 @@ PipelineAdc::PipelineAdc(const AdcConfig& config)
       flash_(config_.flash_bits, config_.flash_comparator, config_.full_scale_vpp / 2.0,
              rng_.child("flash")),
       correction_(config_.num_stages, config_.flash_bits),
-      alignment_(config_.num_stages) {}
+      alignment_(config_.num_stages) {
+  // Hoist the per-sample invariants of quantize_sample(). The phase windows
+  // and master bias depend only on the configured rate; the leg currents are
+  // the per-sample mirror products at the ripple-free master, valid whenever
+  // ripple is off. Note this moves the phase generator's rate validation
+  // from the first conversion to construction.
+  windows_ = phases_.windows(config_.conversion_rate);
+  settle_s_ = config_.enable.incomplete_settling ? windows_.settle_s : 1.0;
+  inv_rate_ = 1.0 / config_.conversion_rate;
+  master_base_ = bias_->master_current(config_.conversion_rate);
+  ripple_sigma_ = config_.bias_scheme == BiasScheme::kSwitchedCapacitor
+                      ? config_.sc_bias.ripple_sigma
+                      : 0.0;
+  leg_currents_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    leg_currents_.push_back(mirrors_.leg_current(i, master_base_));
+  }
+}
 
 double PipelineAdc::lsb() const {
-  return config_.full_scale_vpp / std::pow(2.0, resolution_bits());
+  return config_.full_scale_vpp / std::ldexp(1.0, resolution_bits());
 }
 
 int PipelineAdc::latency_cycles() const { return alignment_.latency_cycles(); }
 
-adc::clocking::PhaseWindows PipelineAdc::phase_windows() const {
-  return phases_.windows(config_.conversion_rate);
-}
+adc::clocking::PhaseWindows PipelineAdc::phase_windows() const { return windows_; }
 
 void PipelineAdc::reset_state() {
   refs_.reset();
@@ -179,25 +194,22 @@ void PipelineAdc::reset_state() {
 }
 
 adc::digital::RawConversion PipelineAdc::quantize_sample(double sampled) {
-  const auto w = phases_.windows(config_.conversion_rate);
-  const double settle_s = config_.enable.incomplete_settling ? w.settle_s : 1.0;
-  const double hold_s = w.hold_s;
+  const double settle_s = settle_s_;
+  const double hold_s = windows_.hold_s;
 
   // Master bias this conversion, including switching ripple when enabled.
-  double master = bias_->master_current(config_.conversion_rate);
-  if (config_.bias_scheme == BiasScheme::kSwitchedCapacitor &&
-      config_.sc_bias.ripple_sigma > 0.0) {
-    master *= 1.0 + noise_rng_.gaussian(config_.sc_bias.ripple_sigma);
-  }
+  // Without ripple every per-stage bias is the precomputed leg current.
+  const bool rippled = ripple_sigma_ > 0.0;
+  double master = master_base_;
+  if (rippled) master *= 1.0 + noise_rng_.gaussian(ripple_sigma_);
 
   const double vref = refs_.vref();
 
   adc::digital::RawConversion raw;
-  raw.stage_codes.reserve(stages_.size());
   double x = sampled;
   double activity = 0.0;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
-    const double ibias = mirrors_.leg_current(i, master);
+    const double ibias = rippled ? mirrors_.leg_current(i, master) : leg_currents_[i];
     const auto r = stages_[i].process(x, vref, ibias, settle_s, hold_s, noise_rng_);
     raw.stage_codes.push_back(r.code);
     activity += std::abs(static_cast<double>(adc::digital::value(r.code)));
@@ -205,7 +217,7 @@ adc::digital::RawConversion PipelineAdc::quantize_sample(double sampled) {
   }
   raw.flash_code = flash_.quantize(x, vref);
 
-  refs_.consume(activity, 1.0 / config_.conversion_rate);
+  refs_.consume(activity, inv_rate_);
   return raw;
 }
 

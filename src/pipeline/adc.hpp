@@ -218,6 +218,17 @@ class PipelineAdc {
   FlashConverter flash_;
   adc::digital::ErrorCorrection correction_;
   adc::digital::DelayAlignment alignment_;
+
+  // --- conversion-loop invariants, hoisted out of quantize_sample() ---
+  // All derive from config_ and the realized components, none change after
+  // construction, and each is computed with exactly the operations the
+  // per-sample code used (the kernel stays bit-identical).
+  adc::clocking::PhaseWindows windows_{};  ///< phases_.windows(f_CR)
+  double settle_s_ = 1.0;                  ///< effective settling window [s]
+  double inv_rate_ = 0.0;                  ///< 1 / f_CR [s]
+  double master_base_ = 0.0;               ///< ripple-free master bias [A]
+  double ripple_sigma_ = 0.0;              ///< 0 disables per-sample ripple
+  std::vector<double> leg_currents_;       ///< per-stage bias at master_base_
 };
 
 }  // namespace adc::pipeline

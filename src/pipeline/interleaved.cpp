@@ -47,8 +47,8 @@ std::vector<int> InterleavedAdc::convert(const adc::dsp::Signal& signal, std::si
   const ShiftedSignal shifted(signal, 0.5 * t_lane + timing_skew_s_);
   const auto codes1 = lane1_.convert(shifted, m1);
 
-  const double mid = std::pow(2.0, resolution_bits() - 1) - 0.5;
-  const double max_code = std::pow(2.0, resolution_bits()) - 1.0;
+  const double mid = std::ldexp(1.0, resolution_bits() - 1) - 0.5;
+  const double max_code = std::ldexp(1.0, resolution_bits()) - 1.0;
   std::vector<int> out;
   out.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {

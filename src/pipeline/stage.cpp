@@ -58,6 +58,11 @@ PipelineStage::PipelineStage(const StageSpec& spec, double scale, double vref_no
   const double cpar = spec.parasitic_input_cap * scale;
   beta_ = c2_.value() / (c1_.value() + c2_.value() + cpar);
 
+  // Realized capacitors never change after construction, so the MDAC's DAC
+  // gain and interstage gain are computed once instead of per residue.
+  gdac_ = c1_.value() / c2_.value();
+  gain_ = 1.0 + gdac_;
+
   // Differential sampled thermal noise: each side samples kT/(C1+C2); the
   // differential variance is twice that, times the excess factor.
   if (spec.noise_excess > 0.0) {
@@ -73,9 +78,7 @@ StageCode PipelineStage::ideal_decision(double v_in) const {
 }
 
 double PipelineStage::residue_target(double v_held, StageCode d, double vref) const {
-  const double gdac = c1_.value() / c2_.value();
-  const double gain = 1.0 + gdac;
-  return gain * v_held - static_cast<double>(adc::digital::value(d)) * gdac * vref;
+  return gain_ * v_held - static_cast<double>(adc::digital::value(d)) * gdac_ * vref;
 }
 
 StageResult PipelineStage::process(double v_in, double vref, double ibias, double settle_s,

@@ -99,6 +99,13 @@ class PipelineStage {
   /// the lower (-V_REF/4) comparator, 1 the upper (+V_REF/4).
   void inject_comparator_offset(int comparator_index, double offset);
 
+  /// Realized ADSC comparator offset [V] drawn at build; index 0 is the
+  /// lower (-V_REF/4) comparator, 1 the upper (+V_REF/4). Introspection for
+  /// the RNG sub-stream independence tests.
+  [[nodiscard]] double comparator_offset(int comparator_index) const {
+    return comparator_index == 0 ? cmp_low_.offset() : cmp_high_.offset();
+  }
+
   /// Force the ADSC decision to a fixed code (foreground-calibration mode:
   /// the DSB is driven directly while the backend measures the DAC step).
   /// Pass std::nullopt to restore normal operation.
@@ -112,6 +119,8 @@ class PipelineStage {
   adc::analog::Capacitor c1_;
   adc::analog::Capacitor c2_;
   double beta_;
+  double gdac_ = 0.0;  ///< realized C1/C2 (DAC step gain), fixed at build
+  double gain_ = 0.0;  ///< realized interstage gain 1 + C1/C2
   double sigma_sample_;
   double vref_nominal_;
   adc::analog::Opamp opamp_;

@@ -115,7 +115,7 @@ TwoStepAdc::TwoStepAdc(const TwoStepConfig& config)
         return adc::clocking::SamplingClock(config_.clock, clk_rng);
       }()),
       residue_amp_(config_.residue_amp),
-      residue_gain_(std::pow(2.0, config_.fine_bits - 2)),
+      residue_gain_(std::ldexp(1.0, config_.fine_bits - 2)),
       sigma_sample_(0.0) {
   const double vref = config_.full_scale_vpp / 2.0;
   if (config_.noise_excess > 0.0) {
@@ -167,12 +167,12 @@ int TwoStepAdc::quantize_sample(double sampled) {
   // Digital combine: the adder knows only the *nominal* level spacing
   // (D = c*2^(fine-1)/2 + f - overlap in hardware); the realized-ladder
   // deviations in the analog path above are exactly the converter's INL.
-  const double coarse_step = 2.0 * vref / std::pow(2.0, config_.coarse_bits);
-  const double fine_step = 2.0 * vref / std::pow(2.0, config_.fine_bits);
+  const double coarse_step = 2.0 * vref / std::ldexp(1.0, config_.coarse_bits);
+  const double fine_step = 2.0 * vref / std::ldexp(1.0, config_.fine_bits);
   const double dac_nominal = -vref + (static_cast<double>(c) + 0.5) * coarse_step;
   const double fine_nominal = -vref + (static_cast<double>(f) + 0.5) * fine_step;
   const double v_hat = dac_nominal + fine_nominal / residue_gain_;
-  const double levels = std::pow(2.0, resolution_bits());
+  const double levels = std::ldexp(1.0, resolution_bits());
   auto code = static_cast<int>(std::llround((v_hat + vref) / (2.0 * vref) * levels - 0.5));
   const auto max_code = static_cast<int>(levels) - 1;
   return std::clamp(code, 0, max_code);

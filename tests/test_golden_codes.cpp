@@ -1,0 +1,171 @@
+/// \file test_golden_codes.cpp
+/// Pins the exact output codes of the characterized nominal die.
+///
+/// The conversion kernel is refactored for speed under a hard contract: the
+/// produced codes must stay *bit-identical* — every floating-point operation
+/// and every RNG draw in program order is part of the observable behavior.
+/// These tests freeze that behavior against golden vectors generated from
+/// the pre-refactor kernel, so any "optimization" that reorders a noise
+/// draw, reassociates an expression, or drops a flush cycle fails loudly
+/// instead of silently refabricating the die.
+///
+/// The call order below matters and must not be rearranged: the nominal
+/// converter's RNG streams advance across calls, so convert() -> stream ->
+/// convert_dc is part of the pinned sequence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "dsp/signal.hpp"
+#include "pipeline/adc.hpp"
+#include "pipeline/design.hpp"
+#include "runtime/parallel.hpp"
+
+namespace {
+
+using adc::pipeline::AdcConfig;
+using adc::pipeline::PipelineAdc;
+
+/// Same probe tone for every golden vector: near-full-scale, deliberately
+/// non-coherent frequency so every sample lands on a distinct phase.
+const adc::dsp::SineSignal& golden_tone() {
+  static const adc::dsp::SineSignal tone(0.985, 10.0037e6);
+  return tone;
+}
+
+// Golden vectors generated from the pre-refactor kernel (commit d73840f)
+// with the exact call sequence of GoldenCodes.NominalDieSequence below.
+const std::vector<int> kGoldenConvert64 = {
+    2039, 3145, 3901, 4068, 3596, 2628, 1478, 507,  28,   189,  939,  2044, 3148,
+    3904, 4068, 3593, 2624, 1474, 504,  27,   191,  943,  2049, 3152, 3906, 4067,
+    3590, 2620, 1470, 501,  27,   192,  947,  2054, 3157, 3907, 4068, 3587, 2615,
+    1465, 498,  25,   194,  951,  2058, 3160, 3909, 4067, 3583, 2611, 1460, 495,
+    24,   196,  955,  2063, 3164, 3912, 4066, 3580, 2606, 1456, 492,  24};
+
+const std::vector<int> kGoldenStream48 = {
+    2039, 3144, 3902, 4069, 3596, 2628, 1478, 508,  27,   189,  939,  2044,
+    3149, 3903, 4068, 3594, 2624, 1473, 505,  27,   190,  943,  2049, 3153,
+    3905, 4067, 3589, 2619, 1469, 501,  26,   193,  947,  2054, 3156, 3908,
+    4067, 3586, 2616, 1465, 498,  26,   194,  951,  2058, 3161, 3910, 4066};
+
+const std::vector<int> kGoldenIdeal32 = {
+    2047, 3138, 3883, 4044, 3571, 2614, 1477, 521, 50,  214, 960,
+    2052, 3142, 3885, 4043, 3568, 2609, 1472, 518, 50,  216, 964,
+    2057, 3146, 3887, 4043, 3565, 2605, 1468, 515, 49,  218};
+
+const std::vector<int> kGoldenDc5 = {183, 1405, 2048, 2610, 4016};
+
+TEST(GoldenCodes, NominalDieSequence) {
+  PipelineAdc converter(adc::pipeline::nominal_design());
+
+  EXPECT_EQ(converter.convert(golden_tone(), 64), kGoldenConvert64);
+
+  // convert_stream exercises the alignment FIFO's flush path: the first
+  // latency_cycles conversions are still in flight when the input stops, so
+  // the stream must drain the FIFO to return exactly n codes.
+  const auto stream = converter.convert_stream(golden_tone(), 48);
+  EXPECT_EQ(stream.latency_cycles, 6);
+  ASSERT_EQ(stream.codes.size(), 48u);
+  EXPECT_EQ(stream.codes, kGoldenStream48);
+
+  EXPECT_EQ(converter.convert_dc(-0.9), kGoldenDc5[0]);
+  EXPECT_EQ(converter.convert_dc(-0.31), kGoldenDc5[1]);
+  EXPECT_EQ(converter.convert_dc(0.0), kGoldenDc5[2]);
+  EXPECT_EQ(converter.convert_dc(0.2718), kGoldenDc5[3]);
+  EXPECT_EQ(converter.convert_dc(0.95), kGoldenDc5[4]);
+}
+
+TEST(GoldenCodes, IdealDesign) {
+  PipelineAdc ideal(adc::pipeline::ideal_design());
+  EXPECT_EQ(ideal.convert(golden_tone(), 32), kGoldenIdeal32);
+}
+
+/// The parallel runtime's determinism contract applied to conversion: each
+/// job fabricates its own die from (design, seed + i), so the batch result
+/// must be bit-identical at 1 worker and at N workers.
+TEST(GoldenCodes, ThreadCountInvariant) {
+  constexpr std::size_t kDies = 8;
+  constexpr std::size_t kSamples = 24;
+  const auto job = [](std::size_t i) {
+    PipelineAdc converter(
+        adc::pipeline::nominal_design(adc::pipeline::kNominalSeed + i));
+    return converter.convert(golden_tone(), kSamples);
+  };
+
+  std::vector<std::vector<int>> serial;
+  std::vector<std::vector<int>> threaded;
+  {
+    adc::runtime::ScopedThreadOverride one(1);
+    serial = adc::runtime::parallel_map<std::vector<int>>(kDies, job);
+  }
+  {
+    adc::runtime::ScopedThreadOverride four(4);
+    threaded = adc::runtime::parallel_map<std::vector<int>>(kDies, job);
+  }
+
+  ASSERT_EQ(serial.size(), kDies);
+  ASSERT_EQ(threaded.size(), kDies);
+  for (std::size_t i = 0; i < kDies; ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "die " << i;
+  }
+  // The seed-0 die is the golden die: the batch path must reproduce the
+  // pinned vector, not merely agree with itself.
+  EXPECT_EQ(std::vector<int>(kGoldenConvert64.begin(),
+                             kGoldenConvert64.begin() + kSamples),
+            serial[0]);
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+double correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+/// Monte-Carlo draws for distinct mechanisms must come from independent RNG
+/// sub-streams: the stage-1 C1/C2 mismatch and the two ADSC comparator
+/// offsets of the same stage must be uncorrelated across dies. A shared or
+/// re-seeded stream (the classic "every mechanism sees the same draws" bug)
+/// shows up here as |r| near 1.
+TEST(GoldenCodes, MechanismDrawsAreIndependentAcrossSeeds) {
+  constexpr std::size_t kDies = 200;
+  std::vector<double> mismatch(kDies);
+  std::vector<double> offset_low(kDies);
+  std::vector<double> offset_high(kDies);
+  for (std::size_t i = 0; i < kDies; ++i) {
+    PipelineAdc converter(adc::pipeline::nominal_design(1000 + i));
+    const auto& stage = converter.stage(0);
+    mismatch[i] = stage.c1() / stage.c2() - 1.0;
+    offset_low[i] = stage.comparator_offset(0);
+    offset_high[i] = stage.comparator_offset(1);
+  }
+
+  // Each mechanism must actually vary across dies (the draw happened)...
+  EXPECT_GT(correlation(mismatch, mismatch), 0.99);
+  EXPECT_GT(correlation(offset_low, offset_low), 0.99);
+
+  // ...and the mechanisms must not share a stream. With n = 200 independent
+  // pairs, |r| has sigma ~ 1/sqrt(n) ~ 0.071; 0.25 is a > 3.5-sigma bound.
+  EXPECT_LT(std::abs(correlation(mismatch, offset_low)), 0.25);
+  EXPECT_LT(std::abs(correlation(mismatch, offset_high)), 0.25);
+  EXPECT_LT(std::abs(correlation(offset_low, offset_high)), 0.25);
+}
+
+}  // namespace

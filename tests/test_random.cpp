@@ -56,6 +56,36 @@ TEST(Rng, ChildIndependentOfParentDrawCount) {
   EXPECT_EQ(a.child("x").seed(), b.child("x").seed());
 }
 
+TEST(Rng, GaussianBitIdenticalToStdNormalDistribution) {
+  // The inline Marsaglia-polar fast path must reproduce
+  // std::normal_distribution<double> on mt19937_64 bit for bit — converter
+  // golden codes (and every seeded Monte-Carlo result recorded before the
+  // fast path landed) depend on this exact stream.
+  const std::uint64_t seeds[] = {0, 1, 42, 0x5EED2004, 0xFFFFFFFFFFFFFFFFull};
+  for (const auto seed : seeds) {
+    ac::Rng rng(seed);
+    std::mt19937_64 engine(seed);
+    std::normal_distribution<double> normal(0.0, 1.0);
+    for (int i = 0; i < 10000; ++i) {
+      const auto got = std::bit_cast<std::uint64_t>(rng.gaussian(1.0));
+      const auto want = std::bit_cast<std::uint64_t>(normal(engine));
+      ASSERT_EQ(got, want) << "seed " << seed << " draw " << i;
+    }
+  }
+}
+
+TEST(Rng, GaussianSigmaScalingMatchesStd) {
+  // sigma * N(0,1) with the same scaling order the façade has always used.
+  ac::Rng rng(777);
+  std::mt19937_64 engine(777);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double sigma = 1e-3 * static_cast<double>(i + 1);
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(rng.gaussian(sigma)),
+              std::bit_cast<std::uint64_t>(sigma * normal(engine)));
+  }
+}
+
 TEST(Rng, GaussianMoments) {
   ac::Rng rng(2024);
   const auto draws = rng.gaussian_vector(200000, 3.0);

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON result files and flag regressions.
+
+Usage:
+    tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Matches benchmarks by name and compares per-iteration real time (the
+benchmark library's primary measurement; items_per_second is derived from
+it). A benchmark regresses when its current time exceeds the baseline by
+more than the threshold (default 15 %, chosen above the observed run-to-run
+noise of the CI runners so the report stays quiet on healthy changes).
+
+Exit status: 0 when nothing regressed, 1 when at least one benchmark did,
+2 on malformed input. CI wires this as a *non-blocking* report: the job
+prints the table and the verdict but a regression does not fail the build —
+benchmark machines are shared and noisy, so a human reads the report before
+acting on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    """Map benchmark name -> entry, keeping only real iteration runs."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"compare_bench: cannot read {path}: {err}")
+    out: dict[str, dict] = {}
+    for entry in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev of repetitions) would double-count.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry.get("name")
+        if name and "real_time" in entry:
+            out[name] = entry
+    return out
+
+
+def fmt_time(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="google-benchmark JSON of the base revision")
+    parser.add_argument("current", help="google-benchmark JSON of the candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative slowdown that counts as a regression (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+    if not base or not curr:
+        print("compare_bench: no iteration benchmarks found in one of the inputs")
+        return 2
+
+    common = [name for name in base if name in curr]
+    if not common:
+        print("compare_bench: no benchmarks in common")
+        return 2
+
+    width = max(len(n) for n in common)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}")
+    for name in common:
+        t_base = base[name]["real_time"]
+        t_curr = curr[name]["real_time"]
+        delta = t_curr / t_base - 1.0 if t_base > 0 else float("inf")
+        mark = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            mark = "  <-- REGRESSION"
+        print(
+            f"{name:<{width}}  {fmt_time(t_base):>10}  {fmt_time(t_curr):>10}"
+            f"  {delta:>+7.1%}{mark}"
+        )
+
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+    if only_base:
+        print(f"\nonly in baseline: {', '.join(only_base)}")
+    if only_curr:
+        print(f"only in current:  {', '.join(only_curr)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) slower than baseline by >"
+              f" {args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0%} on {len(common)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
