@@ -1,9 +1,7 @@
 #include "runtime/manifest.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
@@ -15,83 +13,26 @@
 
 namespace adc::runtime {
 
+namespace json = adc::common::json;
+
 const char* git_describe() { return ADC_GIT_DESCRIBE; }
-
-namespace {
-
-std::string json_quote(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",  // lint-ok: JSON escape, not I/O
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string json_number(double value) {
-  std::ostringstream os;
-  os.precision(17);
-  os << value;
-  return os.str();
-}
-
-}  // namespace
 
 RunManifest::RunManifest(std::string run_name) : run_name_(std::move(run_name)) {
   set_text("run", run_name_);
-  set_count("schema_version", 1);
+  set_count("schema_version", 2);
   set_text("git_describe", git_describe());
   set_count("default_threads", default_thread_count());
   set_count("hardware_concurrency", std::thread::hardware_concurrency());
 }
 
-void RunManifest::set_field(const std::string& key, std::string json_value) {
-  for (auto& f : fields_) {
-    if (f.key == key) {
-      f.json_value = std::move(json_value);
-      return;
-    }
-  }
-  fields_.push_back({key, std::move(json_value)});
-}
-
 void RunManifest::set_text(const std::string& key, const std::string& value) {
-  set_field(key, json_quote(value));
+  fields_.set(key, value);
 }
 
-void RunManifest::set_number(const std::string& key, double value) {
-  set_field(key, json_number(value));
-}
+void RunManifest::set_number(const std::string& key, double value) { fields_.set(key, value); }
 
 void RunManifest::set_count(const std::string& key, std::uint64_t value) {
-  set_field(key, std::to_string(value));
+  fields_.set(key, value);
 }
 
 void RunManifest::set_seed_range(std::uint64_t first_seed, std::uint64_t count) {
@@ -116,40 +57,42 @@ void RunManifest::set_pool_telemetry(const PoolCounters& counters,
   pool_latency_ = latency;
 }
 
-std::string RunManifest::to_json() const {
-  std::ostringstream os;
-  os << "{\n";
-  for (const auto& f : fields_) {
-    os << "  " << json_quote(f.key) << ": " << f.json_value << ",\n";
+json::JsonValue RunManifest::to_json_value() const {
+  json::JsonValue doc = fields_;
+
+  auto phases = json::JsonValue::array();
+  for (const auto& p : phases_) {
+    auto phase = json::JsonValue::object();
+    phase.set("name", p.name);
+    phase.set("wall_seconds", p.wall_seconds);
+    phase.set("cpu_seconds", p.cpu_seconds);
+    phase.set("jobs", p.jobs);
+    phases.push_back(std::move(phase));
   }
-  os << "  \"phases\": [";
-  for (std::size_t i = 0; i < phases_.size(); ++i) {
-    const auto& p = phases_[i];
-    os << (i == 0 ? "\n" : ",\n");
-    os << "    {\"name\": " << json_quote(p.name)
-       << ", \"wall_seconds\": " << json_number(p.wall_seconds)
-       << ", \"cpu_seconds\": " << json_number(p.cpu_seconds) << ", \"jobs\": " << p.jobs
-       << "}";
-  }
-  os << (phases_.empty() ? "]" : "\n  ]");
+  doc.set("phases", std::move(phases));
+
   if (has_pool_telemetry_) {
-    os << ",\n  \"pool\": {\"submitted\": " << pool_counters_.submitted
-       << ", \"executed\": " << pool_counters_.executed
-       << ", \"stolen\": " << pool_counters_.stolen
-       << ", \"failed\": " << pool_counters_.failed
-       << ", \"backpressure_waits\": " << pool_counters_.backpressure_waits << "}";
-    os << ",\n  \"job_latency_us\": {\"total\": " << pool_latency_.total()
-       << ", \"p50_upper\": " << pool_latency_.quantile_upper_us(0.5)
-       << ", \"p99_upper\": " << pool_latency_.quantile_upper_us(0.99)
-       << ", \"log2_buckets\": [";
-    for (std::size_t i = 0; i < pool_latency_.counts.size(); ++i) {
-      os << (i == 0 ? "" : ", ") << pool_latency_.counts[i];
-    }
-    os << "]}";
+    auto pool = json::JsonValue::object();
+    pool.set("submitted", pool_counters_.submitted);
+    pool.set("executed", pool_counters_.executed);
+    pool.set("stolen", pool_counters_.stolen);
+    pool.set("failed", pool_counters_.failed);
+    pool.set("backpressure_waits", pool_counters_.backpressure_waits);
+    doc.set("pool", std::move(pool));
+
+    auto latency = json::JsonValue::object();
+    latency.set("total", pool_latency_.total());
+    latency.set("p50_upper", pool_latency_.quantile_upper_us(0.5));
+    latency.set("p99_upper", pool_latency_.quantile_upper_us(0.99));
+    auto buckets = json::JsonValue::array();
+    for (const auto count : pool_latency_.counts) buckets.push_back(count);
+    latency.set("log2_buckets", std::move(buckets));
+    doc.set("job_latency_us", std::move(latency));
   }
-  os << "\n}\n";
-  return os.str();
+  return doc;
 }
+
+std::string RunManifest::to_json() const { return json::dump(to_json_value()); }
 
 void RunManifest::write(const std::string& path) const {
   std::ofstream out(path);

@@ -8,6 +8,11 @@
 ///
 /// Writing is opt-in, mirroring ADC_BENCH_CSV_DIR: manifests are written only
 /// when ADC_RUNTIME_MANIFEST_DIR names a directory.
+///
+/// Schema version 2: serialization moved onto the shared strict JSON layer
+/// (common/json.hpp) — same key set and semantics as v1, but every object
+/// member is pretty-printed on its own line and consumers can round-trip the
+/// document through `common::json::parse`. See docs/RUNTIME.md for the diff.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -65,6 +71,10 @@ class RunManifest {
   /// Attach pool telemetry (counters + latency histogram snapshot).
   void set_pool_telemetry(const PoolCounters& counters, const HistogramSnapshot& latency);
 
+  /// The manifest as a JSON value tree (fields in set order, then `phases`,
+  /// `pool`, `job_latency_us`).
+  [[nodiscard]] adc::common::json::JsonValue to_json_value() const;
+  /// `to_json_value()` pretty-printed; ends with a newline.
   [[nodiscard]] std::string to_json() const;
   /// Write `to_json()` to `path`. Throws ConfigError on I/O failure.
   void write(const std::string& path) const;
@@ -73,14 +83,8 @@ class RunManifest {
   [[nodiscard]] std::optional<std::string> write_to_env_dir() const;
 
  private:
-  struct Field {
-    std::string key;
-    std::string json_value;  // pre-rendered (quoted string or bare number)
-  };
-  void set_field(const std::string& key, std::string json_value);
-
   std::string run_name_;
-  std::vector<Field> fields_;
+  adc::common::json::JsonValue fields_ = adc::common::json::JsonValue::object();
   std::vector<PhaseTiming> phases_;
   bool has_pool_telemetry_ = false;
   PoolCounters pool_counters_;

@@ -1,0 +1,150 @@
+#include "scenario/cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "scenario/hash.hpp"
+
+namespace adc::scenario {
+
+namespace fs = std::filesystem;
+namespace json = adc::common::json;
+using adc::common::ConfigError;
+
+namespace {
+
+bool is_hex_hash(const std::string& hash) {
+  if (hash.size() != 16) return false;
+  for (const char c : hash) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Process-unique suffix for temporary files, so two concurrent stores of
+/// the same hash (same payload by construction) never interleave writes.
+std::string unique_tmp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) root_ = default_root();
+}
+
+std::string ResultCache::default_root() {
+  const char* env = std::getenv("ADC_SCENARIO_CACHE_DIR");
+  if (env != nullptr && *env != '\0') return env;
+  return ".adc-cache";
+}
+
+std::string ResultCache::entry_path(const std::string& hash) const {
+  adc::common::require(is_hex_hash(hash),
+                       "ResultCache: malformed hash \"" + hash + "\"");
+  return root_ + "/" + hash.substr(0, 2) + "/" + hash + ".json";
+}
+
+std::optional<json::JsonValue> ResultCache::load(const std::string& hash) {
+  const fs::path path = entry_path(hash);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+
+  // Validate the envelope; anything unexpected evicts the entry.
+  try {
+    const auto envelope = json::parse(buffer.str());
+    const auto* stored_hash = envelope.find("hash");
+    const auto* version = envelope.find("schema_version");
+    const auto* payload = envelope.find("payload");
+    if (stored_hash != nullptr && stored_hash->is_string() &&
+        stored_hash->as_string() == hash && version != nullptr && version->is_integer() &&
+        version->as_uint64() == kScenarioSchemaVersion && payload != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return *payload;
+    }
+  } catch (const ConfigError&) {
+    // Fall through to eviction.
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ResultCache::store(const std::string& hash, const json::JsonValue& payload) {
+  auto envelope = json::JsonValue::object();
+  envelope.set("hash", hash);
+  envelope.set("schema_version", kScenarioSchemaVersion);
+  envelope.set("payload", payload);
+  const std::string text = json::dump(envelope);
+
+  const fs::path path = entry_path(hash);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  adc::common::require(!ec, "ResultCache::store: cannot create " +
+                                path.parent_path().string() + ": " + ec.message());
+
+  const fs::path tmp = path.string() + unique_tmp_suffix();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    adc::common::require(out.good(), "ResultCache::store: cannot open " + tmp.string());
+    out << text;
+    out.flush();
+    adc::common::require(out.good(), "ResultCache::store: write failed for " + tmp.string());
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw ConfigError("ResultCache::store: rename failed for " + path.string());
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats stats;
+  std::error_code ec;
+  if (!fs::is_directory(root_, ec)) return stats;
+  for (fs::recursive_directory_iterator it(root_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".json") continue;
+    ++stats.entries;
+    stats.bytes += it->file_size(ec);
+  }
+  return stats;
+}
+
+std::uint64_t ResultCache::clear() {
+  std::uint64_t removed = 0;
+  std::error_code ec;
+  if (!fs::is_directory(root_, ec)) return removed;
+  std::vector<fs::path> victims;
+  for (fs::recursive_directory_iterator it(root_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const auto ext = it->path().extension().string();
+    if (ext == ".json" || ext.rfind(".tmp", 0) == 0) victims.push_back(it->path());
+  }
+  for (const auto& path : victims) {
+    if (path.extension() == ".json") ++removed;
+    fs::remove(path, ec);
+  }
+  return removed;
+}
+
+}  // namespace adc::scenario

@@ -1,0 +1,84 @@
+/// \file cache.hpp
+/// On-disk content-addressed result cache.
+///
+/// Entries live at `<root>/<first two hex digits>/<hash>.json` and wrap the
+/// payload in an envelope that repeats the hash and schema version:
+///
+/// ```json
+/// {"hash": "6b8b4567327b23c6", "schema_version": 1, "payload": {...}}
+/// ```
+///
+/// The root directory resolves, in priority order: the explicit constructor
+/// argument, the `ADC_SCENARIO_CACHE_DIR` environment variable, then
+/// `.adc-cache` in the working directory.
+///
+/// Durability contract:
+///   * `store` writes to a temporary file in the entry's directory and
+///     renames it into place — readers never observe a half-written entry,
+///     and a killed run leaves at worst an orphaned `*.tmp*` file.
+///   * `load` validates the envelope (parseable, hash echo matches, schema
+///     version matches, payload present). Anything else — truncated write,
+///     manual tampering, an entry from an older schema — is *evicted*
+///     (file deleted) and reported as a miss, so corruption heals itself by
+///     recomputation.
+///
+/// Thread safety: `load`/`store` may be called concurrently from pool
+/// workers; distinct hashes never collide on a temporary file name and the
+/// session counters are atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace adc::scenario {
+
+/// Disk usage summary from walking the cache root.
+struct CacheStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  /// Empty root = resolve via ADC_SCENARIO_CACHE_DIR, else ".adc-cache".
+  explicit ResultCache(std::string root = "");
+
+  /// The resolution described above, without constructing a cache.
+  [[nodiscard]] static std::string default_root();
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  /// Fetch the payload stored under `hash`; nullopt on miss. Invalid
+  /// entries are evicted and count as a miss.
+  [[nodiscard]] std::optional<adc::common::json::JsonValue> load(const std::string& hash);
+
+  /// Atomically persist `payload` under `hash` (write temp + rename).
+  void store(const std::string& hash, const adc::common::json::JsonValue& payload);
+
+  /// Walk the cache root and summarize the entries on disk.
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Delete every entry; returns how many were removed.
+  std::uint64_t clear();
+
+  // Session counters (since this ResultCache was constructed).
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.load(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_.load(); }
+  [[nodiscard]] std::uint64_t stores() const { return stores_.load(); }
+
+ private:
+  [[nodiscard]] std::string entry_path(const std::string& hash) const;
+
+  std::string root_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> stores_{0};
+};
+
+}  // namespace adc::scenario

@@ -1,0 +1,130 @@
+#include "scenario/hash.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <vector>
+
+#include "pipeline/design.hpp"
+#include "power/power_model.hpp"
+
+namespace adc::scenario {
+
+namespace json = adc::common::json;
+
+std::string to_hex(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = digits[value & 0xfu];
+    value >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+void update_double_bits(Fnv1a& hash, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  hash.update_u64(bits);
+}
+
+/// Hash the codes of one converter for a pinned 1k-sample full-scale sine.
+void update_with_codes(Fnv1a& hash, const adc::pipeline::AdcConfig& config) {
+  adc::pipeline::PipelineAdc adc(config);
+  constexpr std::size_t kSamples = 1024;
+  const double amplitude = 0.99 * config.full_scale_vpp / 2.0;
+  std::vector<double> voltages(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    // 37 cycles over 1024 samples: coprime, every stage residue exercised.
+    voltages[i] = amplitude * std::sin(2.0 * std::numbers::pi * 37.0 *
+                                       static_cast<double>(i) / static_cast<double>(kSamples));
+  }
+  const auto codes = adc.convert_samples(voltages);
+  for (const int code : codes) hash.update_u64(static_cast<std::uint64_t>(code));
+}
+
+std::uint64_t compute_fingerprint() {
+  Fnv1a hash;
+  update_with_codes(hash, adc::pipeline::nominal_design());
+  update_with_codes(hash, adc::pipeline::ideal_design());
+  // Fold in the power model so power-only changes also retire cache entries.
+  adc::pipeline::PipelineAdc nominal(adc::pipeline::nominal_design());
+  const adc::power::PowerModel model(adc::pipeline::nominal_power_spec());
+  const auto breakdown = model.estimate(nominal);
+  update_double_bits(hash, breakdown.pipeline_analog);
+  update_double_bits(hash, breakdown.bias_generator);
+  update_double_bits(hash, breakdown.reference_buffer);
+  update_double_bits(hash, breakdown.bandgap_cm);
+  update_double_bits(hash, breakdown.comparators);
+  update_double_bits(hash, breakdown.digital);
+  return hash.digest();
+}
+
+}  // namespace
+
+std::uint64_t golden_code_fingerprint() {
+  static const std::uint64_t fingerprint = compute_fingerprint();
+  return fingerprint;
+}
+
+json::JsonValue job_document(const ResolvedJob& job) {
+  auto die = json::JsonValue::object();
+  die.set("seed", job.seed);
+  die.set("ideal", job.ideal);
+  die.set("conversion_rate_hz", job.config.conversion_rate);
+  die.set("temperature_k", job.config.temperature_k);
+  die.set("vdd", job.config.vdd);
+  die.set("full_scale_vpp", job.config.full_scale_vpp);
+  die.set("stage1_dac_skew", job.config.stage1_dac_skew);
+
+  auto doc = json::JsonValue::object();
+  // Yield jobs are dynamic measurements; sharing the kind lets a yield run
+  // reuse entries computed by a plain dynamic sweep and vice versa.
+  const auto mtype = job.measurement.type;
+  const bool dynamic_like = mtype == MeasurementSpec::Type::kDynamic ||
+                            mtype == MeasurementSpec::Type::kYield;
+  doc.set("kind", dynamic_like ? "dynamic" : std::string(to_string(mtype)));
+  doc.set("die", std::move(die));
+
+  if (dynamic_like) {
+    auto stimulus = json::JsonValue::object();
+    stimulus.set("type", std::string(to_string(job.stimulus.type)));
+    stimulus.set("frequency_hz", job.stimulus.frequency_hz);
+    if (job.stimulus.type == StimulusSpec::Type::kTwoTone) {
+      stimulus.set("spacing_hz", job.stimulus.spacing_hz);
+    }
+    stimulus.set("amplitude_fraction", job.stimulus.amplitude_fraction);
+    stimulus.set("record_length", static_cast<std::uint64_t>(job.stimulus.record_length));
+    stimulus.set("max_fin_fraction", job.stimulus.max_fin_fraction);
+    doc.set("stimulus", std::move(stimulus));
+  } else if (mtype == MeasurementSpec::Type::kStatic) {
+    doc.set("samples", static_cast<std::uint64_t>(job.measurement.samples));
+  }
+  return doc;
+}
+
+std::string job_hash(const ResolvedJob& job) {
+  Fnv1a hash;
+  hash.update(json::canonical(job_document(job)));
+  hash.update_u64(kScenarioSchemaVersion);
+  hash.update_u64(golden_code_fingerprint());
+  return to_hex(hash.digest());
+}
+
+std::string spec_hash(const ScenarioSpec& spec) {
+  json::JsonValue doc = spec.raw;
+  // Presentation keys do not change what is computed.
+  if (doc.is_object()) {
+    doc.erase("name");
+    doc.erase("description");
+  }
+  Fnv1a hash;
+  hash.update(json::canonical(doc));
+  hash.update_u64(kScenarioSchemaVersion);
+  hash.update_u64(golden_code_fingerprint());
+  return to_hex(hash.digest());
+}
+
+}  // namespace adc::scenario

@@ -1,0 +1,76 @@
+/// \file hash.hpp
+/// Content addressing for scenario jobs.
+///
+/// A job's cache key is the FNV-1a 64-bit hash of its *canonical job
+/// document*: the fully resolved physics of the job (die configuration
+/// overrides, effective stimulus, measurement kind) serialized as canonical
+/// JSON (sorted keys, compact — see common/json.hpp), plus
+///
+///   * the scenario schema version, so a semantic change to the schema
+///     retires every old entry, and
+///   * the *golden-code fingerprint*: a hash over the output codes of the
+///     nominal and ideal dies for a pinned stimulus plus the nominal power
+///     breakdown. Any change to the converter or power models changes the
+///     fingerprint and therefore every cache key — stale physics can never
+///     be served from cache.
+///
+/// Because hashing happens on the canonical form of the *resolved* job, two
+/// specs that order their keys differently — or reach the same operating
+/// point via different sweep/override combinations — share cache entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "scenario/spec.hpp"
+
+namespace adc::scenario {
+
+/// Version of the job-document schema. Bump when the resolved-job document
+/// or the payload layout changes meaning.
+inline constexpr std::uint64_t kScenarioSchemaVersion = 1;
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1a {
+ public:
+  void update(std::string_view bytes) {
+    for (const char c : bytes) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= 0x100000001b3ull;
+    }
+  }
+  void update_u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (value >> (8 * i)) & 0xffu;
+      state_ *= 0x100000001b3ull;
+    }
+  }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/// 16 lowercase hex digits.
+[[nodiscard]] std::string to_hex(std::uint64_t value);
+
+/// The model fingerprint described in the file header. Computed once per
+/// process (fabricates two converters and runs ~1k conversions) and cached.
+[[nodiscard]] std::uint64_t golden_code_fingerprint();
+
+/// The canonical hash input for one resolved job (exposed for tests and the
+/// `adc_scenario hash` subcommand).
+[[nodiscard]] adc::common::json::JsonValue job_document(const ResolvedJob& job);
+
+/// The cache key of one resolved job: hex FNV-1a over
+/// `canonical(job_document)` + schema version + fingerprint.
+[[nodiscard]] std::string job_hash(const ResolvedJob& job);
+
+/// Identity hash of a whole spec (name/description excluded): hex FNV-1a
+/// over the canonical spec document + schema version + fingerprint. Stable
+/// under key reordering in the spec file.
+[[nodiscard]] std::string spec_hash(const ScenarioSpec& spec);
+
+}  // namespace adc::scenario

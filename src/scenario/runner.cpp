@@ -1,0 +1,331 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pipeline/design.hpp"
+#include "power/power_model.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/parallel.hpp"
+#include "scenario/hash.hpp"
+#include "testbench/dynamic_test.hpp"
+#include "testbench/static_test.hpp"
+#include "testbench/two_tone.hpp"
+
+namespace adc::scenario {
+
+namespace fs = std::filesystem;
+namespace json = adc::common::json;
+
+namespace {
+
+json::JsonValue run_dynamic(const ResolvedJob& job) {
+  adc::pipeline::PipelineAdc adc(job.config);
+  adc::testbench::DynamicTestOptions options;
+  options.record_length = job.stimulus.record_length;
+  // Mirror the rate-sweep benches: keep the tone inside the capped band as
+  // the conversion rate drops below twice the requested input frequency.
+  const double fin_cap = job.stimulus.max_fin_fraction * job.config.conversion_rate / 2.0;
+  options.target_fin_hz = std::min(job.stimulus.frequency_hz, fin_cap);
+  options.amplitude_fraction = job.stimulus.amplitude_fraction;
+  const auto result = adc::testbench::run_dynamic_test(adc, options);
+
+  auto payload = json::JsonValue::object();
+  payload.set("tone_hz", result.tone.frequency_hz);
+  payload.set("snr_db", result.metrics.snr_db);
+  payload.set("sndr_db", result.metrics.sndr_db);
+  payload.set("sfdr_db", result.metrics.sfdr_db);
+  payload.set("thd_db", result.metrics.thd_db);
+  payload.set("enob", result.metrics.enob);
+  return payload;
+}
+
+json::JsonValue run_two_tone(const ResolvedJob& job) {
+  adc::pipeline::PipelineAdc adc(job.config);
+  adc::testbench::TwoToneOptions options;
+  options.record_length = job.stimulus.record_length;
+  const double fin_cap = job.stimulus.max_fin_fraction * job.config.conversion_rate / 2.0;
+  options.center_hz = std::min(job.stimulus.frequency_hz, fin_cap);
+  options.spacing_hz = job.stimulus.spacing_hz;
+  options.amplitude_fraction = job.stimulus.amplitude_fraction;
+  const auto result = adc::testbench::run_two_tone_test(adc, options);
+
+  auto payload = json::JsonValue::object();
+  payload.set("f1_hz", result.f1_hz);
+  payload.set("f2_hz", result.f2_hz);
+  payload.set("tone_power_db", result.tone_power_db);
+  payload.set("imd3_low_dbc", result.imd3_low_dbc);
+  payload.set("imd3_high_dbc", result.imd3_high_dbc);
+  payload.set("imd2_dbc", result.imd2_dbc);
+  payload.set("worst_imd_dbc", result.worst_imd_dbc);
+  return payload;
+}
+
+json::JsonValue run_static(const ResolvedJob& job) {
+  adc::pipeline::PipelineAdc adc(job.config);
+  adc::testbench::HistogramTestOptions options;
+  options.samples = job.measurement.samples;
+  const auto result = adc::testbench::run_histogram_test(adc, options);
+
+  auto payload = json::JsonValue::object();
+  payload.set("dnl_min", result.dnl_min);
+  payload.set("dnl_max", result.dnl_max);
+  payload.set("inl_min", result.inl_min);
+  payload.set("inl_max", result.inl_max);
+  payload.set("missing_codes", static_cast<std::uint64_t>(result.missing_codes.size()));
+  payload.set("sample_count", static_cast<std::uint64_t>(result.sample_count));
+  return payload;
+}
+
+json::JsonValue run_power(const ResolvedJob& job) {
+  adc::pipeline::PipelineAdc adc(job.config);
+  const adc::power::PowerModel model(adc::pipeline::nominal_power_spec());
+  const auto breakdown = model.estimate(adc);
+
+  auto payload = json::JsonValue::object();
+  payload.set("pipeline_analog_w", breakdown.pipeline_analog);
+  payload.set("bias_generator_w", breakdown.bias_generator);
+  payload.set("reference_buffer_w", breakdown.reference_buffer);
+  payload.set("bandgap_cm_w", breakdown.bandgap_cm);
+  payload.set("comparators_w", breakdown.comparators);
+  payload.set("digital_w", breakdown.digital);
+  payload.set("total_w", breakdown.total());
+  return payload;
+}
+
+std::string csv_cell(const json::JsonValue& value) {
+  switch (value.type()) {
+    case json::JsonValue::Type::kDouble: return json::format_double(value.as_double());
+    case json::JsonValue::Type::kInt:
+    case json::JsonValue::Type::kUint:
+      return value.type() == json::JsonValue::Type::kUint
+                 ? std::to_string(value.as_uint64())
+                 : std::to_string(value.as_int64());
+    case json::JsonValue::Type::kString: return value.as_string();
+    case json::JsonValue::Type::kBool: return value.as_bool() ? "true" : "false";
+    default: return "";
+  }
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  adc::common::require(out.good(), "ScenarioRunner: cannot open " + path);
+  out << text;
+  out.flush();
+  adc::common::require(out.good(), "ScenarioRunner: write failed for " + path);
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(RunOptions options) : options_(std::move(options)) {}
+
+json::JsonValue ScenarioRunner::execute_job(const ResolvedJob& job) {
+  switch (job.measurement.type) {
+    case MeasurementSpec::Type::kDynamic:
+    case MeasurementSpec::Type::kYield:
+      return job.stimulus.type == StimulusSpec::Type::kTwoTone ? run_two_tone(job)
+                                                               : run_dynamic(job);
+    case MeasurementSpec::Type::kStatic: return run_static(job);
+    case MeasurementSpec::Type::kPower: return run_power(job);
+  }
+  throw adc::common::ConfigError("ScenarioRunner: unknown measurement type");
+}
+
+RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
+  RunResult result;
+  adc::runtime::RunManifest manifest("scenario_" + spec.name);
+  ResultCache cache(options_.cache_dir);
+  const std::string identity = spec_hash(spec);
+  manifest.set_text("scenario", spec.name);
+  manifest.set_text("spec_hash", identity);
+  manifest.set_text("fingerprint", to_hex(golden_code_fingerprint()));
+  manifest.set_text("cache_dir", cache.root());
+  manifest.set_count("threads", adc::runtime::effective_thread_count(options_.threads));
+  manifest.set_seed_range(spec.first_seed, spec.seed_count);
+
+  // Expand the sweep grid and content-address every job.
+  std::vector<JobPoint> jobs;
+  std::vector<std::string> hashes;
+  {
+    auto phase = manifest.phase("expand");
+    jobs = expand_jobs(spec);
+    hashes.reserve(jobs.size());
+    for (const auto& job : jobs) hashes.push_back(job_hash(resolve_job(spec, job)));
+    phase.set_jobs(jobs.size());
+  }
+  result.jobs_total = jobs.size();
+
+  // Probe the cache: anything already computed (by a previous run, an
+  // interrupted run, or a different scenario hitting the same physics) is
+  // reused verbatim.
+  std::vector<std::optional<json::JsonValue>> payloads(jobs.size());
+  {
+    auto phase = manifest.phase("cache_probe", jobs.size());
+    if (options_.use_cache) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) payloads[i] = cache.load(hashes[i]);
+    }
+  }
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!payloads[i].has_value()) misses.push_back(i);
+  }
+  result.cache_hits = jobs.size() - misses.size();
+
+  // Apply the interruption budget: completed points stay cached, the rest
+  // are left for the next invocation.
+  if (options_.max_jobs != 0 && misses.size() > options_.max_jobs) {
+    result.skipped = misses.size() - options_.max_jobs;
+    misses.resize(options_.max_jobs);
+  }
+
+  // Compute the misses in parallel. Each job persists its payload before
+  // the batch completes, which is what makes interrupted runs resumable.
+  result.pool_before = adc::runtime::global_pool().counters();
+  {
+    auto phase = manifest.phase("execute", misses.size());
+    if (!misses.empty()) {
+      adc::runtime::BatchStats stats;
+      adc::runtime::BatchOptions batch;
+      batch.threads = options_.threads;
+      batch.stats = &stats;
+      auto computed = adc::runtime::parallel_map<json::JsonValue>(
+          misses.size(),
+          [&](std::size_t k) {
+            const std::size_t index = misses[k];
+            auto payload = execute_job(resolve_job(spec, jobs[index]));
+            if (options_.use_cache) cache.store(hashes[index], payload);
+            return payload;
+          },
+          batch);
+      for (std::size_t k = 0; k < misses.size(); ++k) {
+        payloads[misses[k]] = std::move(computed[k]);
+      }
+    }
+  }
+  result.pool_after = adc::runtime::global_pool().counters();
+  result.computed = misses.size();
+  result.cache_evictions = cache.evictions();
+
+  // Build the deterministic report: spec identity + per-job results, no
+  // timings or counters, so repeat/resumed runs emit identical bytes.
+  {
+    auto phase = manifest.phase("report", jobs.size());
+    auto report = json::JsonValue::object();
+    report.set("scenario", spec.name);
+    if (!spec.description.empty()) report.set("description", spec.description);
+    report.set("schema_version", kScenarioSchemaVersion);
+    report.set("spec_hash", identity);
+    report.set("fingerprint", to_hex(golden_code_fingerprint()));
+    report.set("measurement", std::string(to_string(spec.measurement.type)));
+    auto axes = json::JsonValue::array();
+    for (const auto& axis : spec.sweep) axes.push_back(axis.key);
+    report.set("axes", std::move(axes));
+    report.set("jobs", static_cast<std::uint64_t>(jobs.size()));
+
+    auto results = json::JsonValue::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      auto row = json::JsonValue::object();
+      row.set("hash", hashes[i]);
+      row.set("seed", jobs[i].seed);
+      auto point = json::JsonValue::object();
+      for (std::size_t a = 0; a < spec.sweep.size(); ++a) {
+        point.set(spec.sweep[a].key, jobs[i].axis_values[a]);
+      }
+      row.set("point", std::move(point));
+      row.set("metrics", payloads[i].has_value() ? *payloads[i] : json::JsonValue());
+      results.push_back(std::move(row));
+    }
+    report.set("results", std::move(results));
+
+    // Yield summary (only once every point is in).
+    const bool complete = result.cache_hits + result.computed == result.jobs_total;
+    if (spec.measurement.type == MeasurementSpec::Type::kYield && complete &&
+        !jobs.empty()) {
+      const std::string& metric = spec.measurement.metric;
+      double sum = 0.0;
+      double lo = 0.0;
+      double hi = 0.0;
+      std::uint64_t passing = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto* value = payloads[i]->find(metric);
+        adc::common::require(value != nullptr && value->is_number(),
+                             "ScenarioRunner: payload lacks yield metric \"" + metric + "\"");
+        const double x = value->as_double();
+        if (i == 0) {
+          lo = x;
+          hi = x;
+        }
+        sum += x;
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        if (x >= spec.measurement.limit) ++passing;
+      }
+      auto summary = json::JsonValue::object();
+      summary.set("metric", metric);
+      summary.set("limit", spec.measurement.limit);
+      summary.set("mean", sum / static_cast<double>(jobs.size()));
+      summary.set("min", lo);
+      summary.set("max", hi);
+      summary.set("passing", passing);
+      summary.set("yield_fraction",
+                  static_cast<double>(passing) / static_cast<double>(jobs.size()));
+      report.set("summary", std::move(summary));
+    }
+    result.report = std::move(report);
+
+    if (!options_.report_dir.empty()) {
+      std::error_code ec;
+      fs::create_directories(options_.report_dir, ec);
+      adc::common::require(!ec, "ScenarioRunner: cannot create " + options_.report_dir);
+      result.report_json_path = options_.report_dir + "/" + spec.name + "_report.json";
+      write_text_file(result.report_json_path, json::dump(result.report));
+
+      // CSV: axis columns, seed, then the metric columns of the payload.
+      std::string csv;
+      std::vector<std::string> metric_keys;
+      for (const auto& payload : payloads) {
+        if (payload.has_value()) {
+          for (const auto& member : payload->members()) metric_keys.push_back(member.key);
+          break;
+        }
+      }
+      for (const auto& axis : spec.sweep) csv += axis.key + ",";
+      csv += "seed";
+      for (const auto& key : metric_keys) csv += "," + key;
+      csv += "\n";
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!payloads[i].has_value()) continue;
+        for (const double value : jobs[i].axis_values) {
+          csv += json::format_double(value) + ",";
+        }
+        csv += std::to_string(jobs[i].seed);
+        for (const auto& key : metric_keys) {
+          const auto* value = payloads[i]->find(key);
+          csv += ",";
+          if (value != nullptr) csv += csv_cell(*value);
+        }
+        csv += "\n";
+      }
+      result.report_csv_path = options_.report_dir + "/" + spec.name + "_report.csv";
+      write_text_file(result.report_csv_path, csv);
+    }
+  }
+
+  manifest.set_count("jobs_total", result.jobs_total);
+  manifest.set_count("cache_hits", result.cache_hits);
+  manifest.set_count("cache_misses", result.jobs_total - result.cache_hits);
+  manifest.set_count("computed", result.computed);
+  manifest.set_count("skipped", result.skipped);
+  manifest.set_count("cache_evictions", result.cache_evictions);
+  manifest.set_count("cache_stores", cache.stores());
+  manifest.set_pool_telemetry(adc::runtime::global_pool().counters(),
+                              adc::runtime::global_pool().latency_histogram());
+  result.manifest_path = manifest.write_to_env_dir();
+  return result;
+}
+
+}  // namespace adc::scenario

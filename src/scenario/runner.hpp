@@ -1,0 +1,92 @@
+/// \file runner.hpp
+/// Resumable sweep execution: expand, probe the cache, compute the misses
+/// in parallel, report.
+///
+/// The runner's contract:
+///
+///   * **Determinism** — jobs are index-keyed and computed through
+///     `runtime::parallel_map`, so results are bit-identical at any thread
+///     count. The report is built from payloads that round-trip exactly
+///     through JSON (common/json.hpp), so a warm run re-emits byte-for-byte
+///     what the cold run wrote.
+///   * **Resumability** — every completed job is persisted to the cache
+///     *before* the batch finishes, so an interrupted run (crash, SIGKILL,
+///     `max_jobs` budget) leaves its finished points behind; the next
+///     invocation probes the cache, skips them, and computes only the
+///     remainder. Resumed results are bit-identical to an uninterrupted run.
+///   * **Telemetry** — a RunManifest (runtime/manifest.hpp) records the
+///     expand/probe/execute phases, cache counters and pool telemetry. A
+///     fully cached run submits *zero* pool jobs, which is how CI verifies
+///     the 100%-hit re-run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "runtime/thread_pool.hpp"
+#include "scenario/cache.hpp"
+#include "scenario/spec.hpp"
+
+namespace adc::scenario {
+
+/// Options for one scenario run.
+struct RunOptions {
+  /// Cache root ("" = ADC_SCENARIO_CACHE_DIR, else ".adc-cache").
+  std::string cache_dir;
+  /// Directory for `<name>_report.json` / `<name>_report.csv` ("" = don't
+  /// write report files; the report document is always returned).
+  std::string report_dir;
+  /// Worker threads (0 = runtime default resolution).
+  unsigned threads = 0;
+  /// Compute at most this many cache misses, then stop (0 = unlimited).
+  /// Simulates interruption deterministically; completed points are cached,
+  /// the rest are reported with null metrics.
+  std::size_t max_jobs = 0;
+  /// Probe/fill the cache (false = force recomputation, nothing stored).
+  bool use_cache = true;
+};
+
+/// Outcome of one scenario run.
+struct RunResult {
+  std::size_t jobs_total = 0;
+  std::size_t cache_hits = 0;
+  std::size_t computed = 0;
+  /// Jobs left uncomputed by the `max_jobs` budget.
+  std::size_t skipped = 0;
+  /// The deterministic report document (no timings or counters, so repeat
+  /// runs produce identical bytes).
+  adc::common::json::JsonValue report;
+  std::string report_json_path;  ///< "" unless report_dir was set
+  std::string report_csv_path;   ///< "" unless report_dir was set
+  /// Manifest path when ADC_RUNTIME_MANIFEST_DIR is set.
+  std::optional<std::string> manifest_path;
+  /// Global pool counters observed around the execute phase; equal values
+  /// prove a run was served entirely from cache.
+  adc::runtime::PoolCounters pool_before;
+  adc::runtime::PoolCounters pool_after;
+  /// Session cache counters (hits/misses/evictions/stores) for this run.
+  std::uint64_t cache_evictions = 0;
+};
+
+/// Expands, executes and reports scenarios. Stateless between runs apart
+/// from the on-disk cache.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunOptions options = {});
+
+  /// Run one scenario end-to-end. Throws ConfigError/MeasurementError on
+  /// invalid specs or I/O failure.
+  [[nodiscard]] RunResult run(const ScenarioSpec& spec);
+
+  /// Execute one resolved job immediately (no cache); the payload that
+  /// would be stored. Exposed for tests and the CLI.
+  [[nodiscard]] static adc::common::json::JsonValue execute_job(const ResolvedJob& job);
+
+ private:
+  RunOptions options_;
+};
+
+}  // namespace adc::scenario

@@ -1,0 +1,168 @@
+/// \file spec.hpp
+/// Declarative experiment specs: the schema of one scenario.
+///
+/// A scenario is a JSON document that names a die configuration, a stimulus,
+/// a measurement and optionally a seed range plus sweep axes. The engine
+/// expands the sweep grid into independent *jobs* (one fabricated die and
+/// one measurement each), content-addresses every job, and reuses cached
+/// results (see hash.hpp, cache.hpp, runner.hpp).
+///
+/// Schema (all keys optional unless noted):
+///
+/// ```json
+/// {
+///   "name": "table1",                  // required; [A-Za-z0-9_.-]
+///   "description": "free text",
+///   "die": {
+///     "seed": 1592992772,              // Monte-Carlo seed (default: nominal die)
+///     "ideal": false,                  // true = perfect quantizer reference
+///     "conversion_rate_hz": 110e6,
+///     "temperature_k": 300.0,
+///     "vdd": 1.8,
+///     "full_scale_vpp": 2.0,
+///     "stage1_dac_skew": 0.0
+///   },
+///   "stimulus": {
+///     "type": "tone",                  // tone | two_tone | ramp
+///     "frequency_hz": 10e6,            // tone/centre frequency
+///     "spacing_hz": 1.2e6,             // two_tone spacing
+///     "amplitude_fraction": 0.985,
+///     "record_length": 8192,           // power of two
+///     "max_fin_fraction": 0.9          // fin cap as a fraction of f_CR/2
+///   },
+///   "measurement": {                   // required
+///     "type": "dynamic",               // dynamic | static | power | yield
+///     "samples": 4194304,              // static histogram length
+///     "metric": "sndr_db",             // yield pass metric
+///     "limit": 62.0                    // yield pass threshold (metric >= limit)
+///   },
+///   "seeds": {"first": 42, "count": 200},
+///   "sweep": [{"key": "die.conversion_rate_hz", "values": [10e6, 20e6]}]
+/// }
+/// ```
+///
+/// Validation is strict: unknown keys, wrong types and out-of-range values
+/// all throw ConfigError messages that *name the offending key path*
+/// (e.g. `scenario spec: "stimulus.record_length" must be a power of two`).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/units.hpp"
+#include "pipeline/adc.hpp"
+#include "pipeline/design.hpp"
+
+namespace adc::scenario {
+
+using namespace adc::common::literals;
+
+/// Stimulus block of a spec (defaults mirror the Table I bench setup).
+struct StimulusSpec {
+  enum class Type { kTone, kTwoTone, kRamp };
+  Type type = Type::kTone;
+  double frequency_hz = 10.0_MHz;   ///< tone (or two-tone centre) frequency
+  double spacing_hz = 1.2_MHz;      ///< two-tone spacing
+  double amplitude_fraction = 0.985;
+  std::size_t record_length = 1 << 13;
+  /// The requested frequency is capped at `max_fin_fraction * f_CR / 2`
+  /// (mirrors the rate-sweep benches, which keep the tone in-band as the
+  /// conversion rate drops below twice the requested fin).
+  double max_fin_fraction = 0.9;
+};
+
+/// Measurement block of a spec.
+struct MeasurementSpec {
+  enum class Type { kDynamic, kStatic, kPower, kYield };
+  Type type = Type::kDynamic;
+  std::size_t samples = 1 << 22;  ///< static histogram record length
+  std::string metric = "sndr_db";  ///< yield pass/fail metric
+  double limit = 0.0;              ///< yield passes when metric >= limit
+};
+
+/// Die block: overrides applied on top of the nominal (or ideal) design.
+struct DieSpec {
+  std::uint64_t seed = adc::pipeline::kNominalSeed;
+  bool ideal = false;
+  // Negative sentinel = "not set, keep the design default".
+  double conversion_rate_hz = -1.0;
+  double temperature_k = -1.0;
+  double vdd = -1.0;
+  double full_scale_vpp = -1.0;
+  bool has_stage1_dac_skew = false;
+  double stage1_dac_skew = 0.0;
+};
+
+/// One sweep axis: a key path and the grid values it takes.
+struct SweepAxis {
+  std::string key;
+  std::vector<double> values;
+};
+
+/// A fully validated scenario.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  DieSpec die;
+  StimulusSpec stimulus;
+  MeasurementSpec measurement;
+  std::uint64_t first_seed = adc::pipeline::kNominalSeed;
+  std::uint64_t seed_count = 1;
+  std::vector<SweepAxis> sweep;
+  /// The validated source document (hashed by spec_hash; name/description
+  /// are excluded from the hash there).
+  adc::common::json::JsonValue raw;
+};
+
+/// The sweep axis keys the engine understands.
+[[nodiscard]] const std::vector<std::string>& allowed_sweep_keys();
+
+/// Spelling used in spec files and reports ("tone", "two_tone", "ramp").
+[[nodiscard]] std::string_view to_string(StimulusSpec::Type type);
+/// Spelling used in spec files and reports ("dynamic", "static", ...).
+[[nodiscard]] std::string_view to_string(MeasurementSpec::Type type);
+
+/// Validate and decode a parsed JSON document into a ScenarioSpec. Throws
+/// ConfigError naming the offending key path on any violation.
+[[nodiscard]] ScenarioSpec parse_spec(const adc::common::json::JsonValue& doc);
+
+/// Parse + validate a JSON text.
+[[nodiscard]] ScenarioSpec parse_spec_text(std::string_view text);
+
+/// Load a spec from disk; errors are prefixed with the file path.
+[[nodiscard]] ScenarioSpec load_spec_file(const std::string& path);
+
+/// One expanded grid point: the sweep-axis values (aligned with
+/// `spec.sweep`) plus the Monte-Carlo seed of the die to fabricate.
+struct JobPoint {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::vector<double> axis_values;
+};
+
+/// Expand the sweep grid: the cartesian product of all axis value lists
+/// (first axis slowest) with the seed range innermost. Throws ConfigError
+/// when the expansion exceeds 1,000,000 jobs.
+[[nodiscard]] std::vector<JobPoint> expand_jobs(const ScenarioSpec& spec);
+
+/// A job resolved to concrete physics: the exact converter configuration
+/// plus the effective stimulus/measurement after axis overrides. This is
+/// the single source of truth shared by the hasher (hash.hpp) and the
+/// executor (runner.cpp): both see the same resolved values, so a cache
+/// entry can never describe a different experiment than the one run.
+struct ResolvedJob {
+  adc::pipeline::AdcConfig config;
+  StimulusSpec stimulus;
+  MeasurementSpec measurement;
+  std::uint64_t seed = 0;
+  bool ideal = false;  ///< fabricated from ideal_design() rather than nominal
+};
+
+/// Resolve one grid point against the spec.
+[[nodiscard]] ResolvedJob resolve_job(const ScenarioSpec& spec, const JobPoint& job);
+
+}  // namespace adc::scenario

@@ -1,0 +1,164 @@
+/// Tests for the strict minimal JSON layer (src/common/json.*): parsing,
+/// strictness diagnostics, exact number round-trip, and the canonical form
+/// the scenario hasher consumes.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace json = adc::common::json;
+using adc::common::ConfigError;
+using json::JsonValue;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_EQ(json::parse("42").as_int64(), 42);
+  EXPECT_EQ(json::parse("-7").as_int64(), -7);
+  EXPECT_DOUBLE_EQ(json::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerStorageIsPreserved) {
+  EXPECT_EQ(json::parse("0").type(), JsonValue::Type::kInt);
+  EXPECT_EQ(json::parse("1.0").type(), JsonValue::Type::kDouble);
+  // INT64_MAX + 1 still fits unsigned storage; larger falls back to double.
+  EXPECT_EQ(json::parse("9223372036854775808").as_uint64(), 9223372036854775808ull);
+  EXPECT_EQ(json::parse("99999999999999999999999").type(), JsonValue::Type::kDouble);
+}
+
+TEST(JsonParse, NestedDocument) {
+  const auto doc = json::parse(R"({"a": [1, 2.5, {"b": null}], "c": {"d": true}})");
+  ASSERT_TRUE(doc.is_object());
+  const auto* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[0].as_int64(), 1);
+  EXPECT_TRUE(a->items()[2].find("b")->is_null());
+  EXPECT_TRUE(doc.find("c")->find("d")->as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(json::parse(R"("é")").as_string(), "\xc3\xa9");         // é
+  EXPECT_EQ(json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");  // emoji
+}
+
+TEST(JsonParse, StrictnessRejections) {
+  EXPECT_THROW((void)json::parse(""), ConfigError);
+  EXPECT_THROW((void)json::parse("{,}"), ConfigError);
+  EXPECT_THROW((void)json::parse("[1, 2,]"), ConfigError);           // trailing comma
+  EXPECT_THROW((void)json::parse(R"({"a": 1,})"), ConfigError);      // trailing comma
+  EXPECT_THROW((void)json::parse(R"({"a": 1} )" "x"), ConfigError);  // trailing garbage
+  EXPECT_THROW((void)json::parse(R"({"a": 1, "a": 2})"), ConfigError);  // duplicate key
+  EXPECT_THROW((void)json::parse("01"), ConfigError);                // leading zero
+  EXPECT_THROW((void)json::parse("1."), ConfigError);
+  EXPECT_THROW((void)json::parse("+1"), ConfigError);
+  EXPECT_THROW((void)json::parse("'single'"), ConfigError);
+  EXPECT_THROW((void)json::parse("{\"a\": 1 // comment\n}"), ConfigError);
+  EXPECT_THROW((void)json::parse("\"unterminated"), ConfigError);
+  EXPECT_THROW((void)json::parse("\"bad \\x escape\""), ConfigError);
+  EXPECT_THROW((void)json::parse("1e999"), ConfigError);             // out of double range
+  EXPECT_THROW((void)json::parse(std::string(300, '[')), ConfigError);  // nesting bomb
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)json::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL() << "duplicate key accepted";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate object key \"a\""), std::string::npos) << what;
+  }
+}
+
+TEST(JsonValueApi, TypeMismatchThrows) {
+  const auto v = json::parse("[1]");
+  EXPECT_THROW((void)v.as_string(), ConfigError);
+  EXPECT_THROW((void)v.members(), ConfigError);
+  EXPECT_THROW((void)json::parse("1.5").as_int64(), ConfigError);
+  EXPECT_THROW((void)json::parse("-1").as_uint64(), ConfigError);
+}
+
+TEST(JsonValueApi, ObjectSetPreservesInsertionOrder) {
+  auto obj = JsonValue::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("zeta", 3);  // replace in place, not re-append
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].key, "zeta");
+  EXPECT_EQ(obj.members()[0].value.as_int64(), 3);
+  EXPECT_TRUE(obj.erase("zeta"));
+  EXPECT_FALSE(obj.erase("zeta"));
+  ASSERT_EQ(obj.members().size(), 1u);
+}
+
+TEST(JsonDump, CompactAndPretty) {
+  const auto doc = json::parse(R"({"b": [1, 2], "a": {"x": true}, "e": [], "o": {}})");
+  EXPECT_EQ(json::dump_compact(doc), R"({"b":[1,2],"a":{"x":true},"e":[],"o":{}})");
+  EXPECT_EQ(json::dump(doc),
+            "{\n"
+            "  \"b\": [\n    1,\n    2\n  ],\n"
+            "  \"a\": {\n    \"x\": true\n  },\n"
+            "  \"e\": [],\n"
+            "  \"o\": {}\n"
+            "}\n");
+}
+
+TEST(JsonDump, RoundTripReproducesDocumentExactly) {
+  const char* text =
+      R"({"name": "x", "v": [0.1, -0.0, 1e-300, 12345678901234567890, -42, 0.69999999999999996],)"
+      R"( "s": "é\n", "n": null})";
+  const auto doc = json::parse(text);
+  const auto reparsed = json::parse(json::dump(doc));
+  EXPECT_TRUE(doc == reparsed);
+  // And the dump of the reparse is byte-identical (stable fixpoint).
+  EXPECT_EQ(json::dump(doc), json::dump(reparsed));
+}
+
+TEST(JsonDump, DoubleFormattingRoundTripsBitExactly) {
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          6.02214076e23,
+                          -1.6e-19,
+                          5e-324,  // min subnormal
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min(),
+                          -0.0,
+                          110e6,
+                          0.69999999999999996};
+  for (const double v : cases) {
+    const auto text = json::format_double(v);
+    const double back = json::parse(text).as_double();
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::memcpy(&a, &v, sizeof a);
+    std::memcpy(&b, &back, sizeof b);
+    EXPECT_EQ(a, b) << v << " -> " << text;
+  }
+  EXPECT_EQ(json::format_double(2.5), "2.5");
+  EXPECT_EQ(json::format_double(4.0), "4.0");  // stays a double token
+  EXPECT_THROW((void)json::format_double(std::nan("")), ConfigError);
+  EXPECT_THROW((void)json::format_double(INFINITY), ConfigError);
+}
+
+TEST(JsonCanonical, SortsKeysAtEveryLevel) {
+  const auto a = json::parse(R"({"b": {"z": 1, "a": 2}, "a": [{"q": 1, "p": 2}]})");
+  const auto b = json::parse(R"({"a": [{"p": 2, "q": 1}], "b": {"a": 2, "z": 1}})");
+  EXPECT_EQ(json::canonical(a), json::canonical(b));
+  EXPECT_EQ(json::canonical(a), R"({"a":[{"p":2,"q":1}],"b":{"a":2,"z":1}})");
+  // Array order is data, not presentation: reordering arrays changes the form.
+  const auto c = json::parse(R"({"a": [{"p": 2, "q": 1}], "b": {"a": 2, "z": 2}})");
+  EXPECT_NE(json::canonical(a), json::canonical(c));
+}

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "runtime/manifest.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/parallel.hpp"
@@ -356,7 +357,7 @@ TEST(Manifest, JsonCarriesProvenancePhasesAndTelemetry) {
 
   const auto json = manifest.to_json();
   for (const char* needle :
-       {"\"run\": \"unit_test_run\"", "\"git_describe\"", "\"schema_version\": 1",
+       {"\"run\": \"unit_test_run\"", "\"git_describe\"", "\"schema_version\": 2",
         "\"first_seed\": 42", "\"seed_count\": 25", "\"threads\": 8",
         "\"name\": \"simulate\"", "\"jobs\": 25", "\"name\": \"analyze\"",
         "\"pool\"", "\"executed\": 10", "\"job_latency_us\"",
@@ -372,6 +373,35 @@ TEST(Manifest, JsonCarriesProvenancePhasesAndTelemetry) {
   }
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
+}
+
+// Schema v2 contract: the emitted manifest is a valid strict-JSON document
+// that round-trips through the shared parser with nothing lost — parse it,
+// re-emit it, and the bytes match.
+TEST(Manifest, JsonParseEmitRoundTripIsExact) {
+  rt::RunManifest manifest("roundtrip_run");
+  manifest.set_seed_range(7, 3);
+  manifest.set_number("wall_speedup", 0.69999999999999996);  // 17-digit double
+  manifest.set_text("note", "tab\there \"quoted\" \\slash");
+  {
+    auto scope = manifest.phase("measure", 3);
+  }
+  rt::ThreadPool pool({2, 16});
+  for (int i = 0; i < 4; ++i) pool.submit([] {});
+  pool.wait_idle();
+  manifest.set_pool_telemetry(pool.counters(), pool.latency_histogram());
+
+  const std::string emitted = manifest.to_json();
+  const auto parsed = adc::common::json::parse(emitted);
+  EXPECT_EQ(adc::common::json::dump(parsed), emitted);
+  EXPECT_TRUE(parsed == manifest.to_json_value());
+
+  // Spot-check typed access through the parsed tree.
+  EXPECT_EQ(parsed.find("schema_version")->as_uint64(), 2u);
+  EXPECT_EQ(parsed.find("first_seed")->as_uint64(), 7u);
+  ASSERT_EQ(parsed.find("phases")->items().size(), 1u);
+  EXPECT_EQ(parsed.find("phases")->items()[0].find("name")->as_string(), "measure");
+  EXPECT_EQ(parsed.find("pool")->find("executed")->as_uint64(), 4u);
 }
 
 TEST(Manifest, WritesToEnvDirWhenSet) {

@@ -1,0 +1,304 @@
+/// Tests for the scenario engine (src/scenario/): spec validation naming the
+/// offending key, sweep expansion, key-order-independent hashing, cache
+/// correctness (bit-identical hits, corrupt-entry eviction, env-var root),
+/// and interrupted-run resume producing bit-identical reports.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "scenario/cache.hpp"
+#include "scenario/hash.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace fs = std::filesystem;
+namespace json = adc::common::json;
+using adc::common::ConfigError;
+using namespace adc::scenario;
+
+namespace {
+
+/// A fast 4-job dynamic sweep (2 rates x 2 seeds, 256-sample records).
+const char* kSmallSpec = R"({
+  "name": "small",
+  "stimulus": {"type": "tone", "frequency_hz": 10e6, "record_length": 256},
+  "measurement": {"type": "dynamic"},
+  "seeds": {"first": 42, "count": 2},
+  "sweep": [{"key": "die.conversion_rate_hz", "values": [60e6, 110e6]}]
+})";
+
+/// The same document with every object's keys reordered.
+const char* kSmallSpecReordered = R"({
+  "sweep": [{"values": [60e6, 110e6], "key": "die.conversion_rate_hz"}],
+  "seeds": {"count": 2, "first": 42},
+  "measurement": {"type": "dynamic"},
+  "stimulus": {"record_length": 256, "frequency_hz": 10e6, "type": "tone"},
+  "name": "small"
+})";
+
+std::string validation_error(const std::string& text) {
+  try {
+    (void)parse_spec_text(text);
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+/// Fixture managing a per-test scratch directory for caches and reports.
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("adc_scenario_" + std::to_string(::getpid()) + "_" + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  fs::path dir_;
+};
+
+}  // namespace
+
+TEST(ScenarioSpec, ValidationErrorsNameTheOffendingKey) {
+  EXPECT_NE(validation_error(R"({"measurement": {"type": "dynamic"}})")
+                .find("missing required key \"name\""),
+            std::string::npos);
+  EXPECT_NE(validation_error(R"({"name": "x"})")
+                .find("missing required key \"measurement\""),
+            std::string::npos);
+  EXPECT_NE(validation_error(
+                R"({"name": "x", "die": {"frobnicate": 1}, "measurement": {"type": "power"}})")
+                .find("unknown key \"die.frobnicate\""),
+            std::string::npos);
+  EXPECT_NE(validation_error(R"({"name": "x", "stimulus": {"record_length": 1000},
+                                 "measurement": {"type": "dynamic"}})")
+                .find("\"stimulus.record_length\" must be a power of two"),
+            std::string::npos);
+  EXPECT_NE(validation_error(
+                R"({"name": "x", "measurement": {"type": "yield", "metric": "sndr_db"}})")
+                .find("missing required key \"measurement.limit\""),
+            std::string::npos);
+  EXPECT_NE(validation_error(
+                R"({"name": "x", "measurement": {"type": "dynamic", "samples": 8192}})")
+                .find("\"measurement.samples\" only applies"),
+            std::string::npos);
+  EXPECT_NE(validation_error(R"({"name": "x", "measurement": {"type": "power"},
+                                 "sweep": [{"key": "die.oops", "values": [1]}]})")
+                .find("unknown sweep key \"die.oops\""),
+            std::string::npos);
+  EXPECT_NE(validation_error(R"({"name": "x", "measurement": {"type": "power"},
+      "sweep": [{"key": "die.vdd", "values": [1.8]}, {"key": "die.vdd", "values": [1.7]}]})")
+                .find("duplicate sweep axis \"die.vdd\""),
+            std::string::npos);
+  EXPECT_NE(validation_error(R"({"name": "x", "stimulus": {"type": "ramp"},
+                                 "measurement": {"type": "dynamic"}})")
+                .find("\"stimulus.type\" \"ramp\" is incompatible"),
+            std::string::npos);
+  EXPECT_NE(validation_error(R"({"name": "x", "measurement": {"type": "power"},
+      "sweep": [{"key": "stimulus.frequency_hz", "values": [1e6]}]})")
+                .find("does not apply to measurement type \"power\""),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, ExpansionIsRowMajorWithSeedsInnermost) {
+  const auto spec = parse_spec_text(R"({
+    "name": "grid", "measurement": {"type": "power"},
+    "seeds": {"first": 7, "count": 2},
+    "sweep": [
+      {"key": "die.conversion_rate_hz", "values": [10e6, 20e6]},
+      {"key": "die.temperature_k", "values": [250.0, 300.0, 350.0]}
+    ]})");
+  const auto jobs = expand_jobs(spec);
+  ASSERT_EQ(jobs.size(), 12u);
+  // First axis slowest, seeds innermost.
+  EXPECT_EQ(jobs[0].axis_values, (std::vector<double>{10e6, 250.0}));
+  EXPECT_EQ(jobs[0].seed, 7u);
+  EXPECT_EQ(jobs[1].axis_values, (std::vector<double>{10e6, 250.0}));
+  EXPECT_EQ(jobs[1].seed, 8u);
+  EXPECT_EQ(jobs[2].axis_values, (std::vector<double>{10e6, 300.0}));
+  EXPECT_EQ(jobs[11].axis_values, (std::vector<double>{20e6, 350.0}));
+  for (std::size_t i = 0; i < jobs.size(); ++i) EXPECT_EQ(jobs[i].index, i);
+}
+
+TEST(ScenarioHash, StableAcrossKeyOrder) {
+  const auto a = parse_spec_text(kSmallSpec);
+  const auto b = parse_spec_text(kSmallSpecReordered);
+  EXPECT_EQ(spec_hash(a), spec_hash(b));
+  const auto jobs_a = expand_jobs(a);
+  const auto jobs_b = expand_jobs(b);
+  ASSERT_EQ(jobs_a.size(), jobs_b.size());
+  for (std::size_t i = 0; i < jobs_a.size(); ++i) {
+    EXPECT_EQ(job_hash(resolve_job(a, jobs_a[i])), job_hash(resolve_job(b, jobs_b[i])));
+  }
+}
+
+TEST(ScenarioHash, DistinguishesPhysics) {
+  const auto spec = parse_spec_text(kSmallSpec);
+  const auto jobs = expand_jobs(spec);
+  // Different seed, different operating point -> different key.
+  EXPECT_NE(job_hash(resolve_job(spec, jobs[0])), job_hash(resolve_job(spec, jobs[1])));
+  EXPECT_NE(job_hash(resolve_job(spec, jobs[0])), job_hash(resolve_job(spec, jobs[2])));
+  // A changed stimulus changes the key.
+  auto longer = parse_spec_text(std::string(kSmallSpec));
+  longer.stimulus.record_length = 512;
+  EXPECT_NE(job_hash(resolve_job(spec, jobs[0])), job_hash(resolve_job(longer, jobs[0])));
+  // The name is presentation, not physics.
+  auto renamed = json::parse(kSmallSpec);
+  renamed.set("name", "renamed");
+  EXPECT_EQ(spec_hash(spec), spec_hash(parse_spec(renamed)));
+}
+
+TEST_F(ScenarioTest, WarmRunIsBitIdenticalAndSubmitsZeroPoolJobs) {
+  const auto spec = parse_spec_text(kSmallSpec);
+  RunOptions options;
+  options.cache_dir = path("cache");
+  ScenarioRunner runner(options);
+
+  const auto cold = runner.run(spec);
+  EXPECT_EQ(cold.jobs_total, 4u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.computed, 4u);
+
+  const auto warm = runner.run(spec);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(warm.computed, 0u);
+  // The report a warm run assembles from cached payloads is byte-identical
+  // to the cold run's.
+  EXPECT_EQ(json::dump(cold.report), json::dump(warm.report));
+  // And a fully cached run never touched the pool: that is the telemetry
+  // CI checks in the manifest.
+  EXPECT_EQ(warm.pool_before.submitted, warm.pool_after.submitted);
+  EXPECT_EQ(warm.pool_before.executed, warm.pool_after.executed);
+}
+
+TEST_F(ScenarioTest, CorruptEntryIsEvictedAndRecomputed) {
+  const auto spec = parse_spec_text(kSmallSpec);
+  RunOptions options;
+  options.cache_dir = path("cache");
+  ScenarioRunner runner(options);
+  const auto cold = runner.run(spec);
+
+  // Truncate one entry on disk.
+  fs::path victim;
+  for (const auto& entry : fs::recursive_directory_iterator(options.cache_dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      victim = entry.path();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << R"({"hash": "truncated)";
+  }
+
+  const auto healed = runner.run(spec);
+  EXPECT_EQ(healed.cache_hits, 3u);
+  EXPECT_EQ(healed.computed, 1u);
+  EXPECT_EQ(healed.cache_evictions, 1u);
+  EXPECT_EQ(json::dump(cold.report), json::dump(healed.report));
+}
+
+TEST_F(ScenarioTest, EnvVarCacheDirIsHonored) {
+  const std::string env_dir = path("env-cache");
+  ASSERT_EQ(::setenv("ADC_SCENARIO_CACHE_DIR", env_dir.c_str(), 1), 0);
+  EXPECT_EQ(ResultCache::default_root(), env_dir);
+
+  const auto spec = parse_spec_text(R"({
+    "name": "envtest",
+    "stimulus": {"record_length": 256},
+    "measurement": {"type": "dynamic"}
+  })");
+  ScenarioRunner runner;  // empty cache_dir -> env resolution
+  const auto result = runner.run(spec);
+  ::unsetenv("ADC_SCENARIO_CACHE_DIR");
+
+  EXPECT_EQ(result.computed, 1u);
+  ResultCache cache(env_dir);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(ResultCache::default_root(), ".adc-cache");
+}
+
+TEST_F(ScenarioTest, InterruptedRunResumesBitIdentically) {
+  const auto spec = parse_spec_text(kSmallSpec);
+
+  // Reference: uninterrupted run in its own cache.
+  RunOptions reference_options;
+  reference_options.cache_dir = path("cache-reference");
+  const auto reference = ScenarioRunner(reference_options).run(spec);
+
+  // Interrupted: a 1-job budget, twice, then the finishing run.
+  RunOptions resumed_options;
+  resumed_options.cache_dir = path("cache-resumed");
+  resumed_options.max_jobs = 1;
+  const auto first = ScenarioRunner(resumed_options).run(spec);
+  EXPECT_EQ(first.computed, 1u);
+  EXPECT_EQ(first.skipped, 3u);
+  // Uncomputed points are reported with null metrics.
+  EXPECT_TRUE(first.report.find("results")->items()[3].find("metrics")->is_null());
+
+  const auto second = ScenarioRunner(resumed_options).run(spec);
+  EXPECT_EQ(second.cache_hits, 1u);
+  EXPECT_EQ(second.computed, 1u);
+
+  RunOptions finish_options;
+  finish_options.cache_dir = resumed_options.cache_dir;
+  const auto final_run = ScenarioRunner(finish_options).run(spec);
+  EXPECT_EQ(final_run.cache_hits, 2u);
+  EXPECT_EQ(final_run.computed, 2u);
+  EXPECT_EQ(final_run.skipped, 0u);
+
+  // The stitched-together run is byte-identical to the uninterrupted one.
+  EXPECT_EQ(json::dump(reference.report), json::dump(final_run.report));
+}
+
+TEST_F(ScenarioTest, ReportFilesAreWrittenAndStable) {
+  const auto spec = parse_spec_text(kSmallSpec);
+  RunOptions options;
+  options.cache_dir = path("cache");
+  options.report_dir = path("reports");
+  ScenarioRunner runner(options);
+  const auto cold = runner.run(spec);
+  ASSERT_FALSE(cold.report_json_path.empty());
+  ASSERT_TRUE(fs::exists(cold.report_json_path));
+  ASSERT_TRUE(fs::exists(cold.report_csv_path));
+
+  std::ifstream in(cold.report_json_path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  // The file round-trips through the parser and matches the in-memory report.
+  EXPECT_EQ(json::dump(json::parse(text)), json::dump(cold.report));
+
+  // CSV: header + one row per job.
+  std::ifstream csv(cold.report_csv_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(csv, line)) ++lines;
+  EXPECT_EQ(lines, 1u + cold.jobs_total);
+}
+
+TEST_F(ScenarioTest, CacheStatsAndClear) {
+  const auto spec = parse_spec_text(kSmallSpec);
+  RunOptions options;
+  options.cache_dir = path("cache");
+  (void)ScenarioRunner(options).run(spec);
+
+  ResultCache cache(options.cache_dir);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_EQ(cache.clear(), 4u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}

@@ -1,0 +1,221 @@
+/// \file adc_scenario.cpp
+/// CLI front-end of the scenario engine (src/scenario/).
+///
+///   adc_scenario run <spec.json>... [--cache-dir D] [--report-dir D]
+///                                   [--threads N] [--max-jobs N]
+///                                   [--no-cache] [--min-hit-rate F]
+///   adc_scenario validate <spec.json>...
+///   adc_scenario hash <spec.json>
+///   adc_scenario cache stats [--cache-dir D]
+///   adc_scenario cache clear [--cache-dir D]
+///
+/// Exit status: 0 on success, 1 on any validation/run failure (including an
+/// unmet --min-hit-rate), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "scenario/cache.hpp"
+#include "scenario/hash.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+namespace json = adc::common::json;
+using namespace adc::scenario;
+
+void print_usage() {
+  std::printf(
+      "usage: adc_scenario <command> ...\n"
+      "  run <spec.json>...       expand, execute (cache-aware) and report\n"
+      "      --cache-dir D        cache root (default: ADC_SCENARIO_CACHE_DIR or .adc-cache)\n"
+      "      --report-dir D       write <name>_report.{json,csv} into D\n"
+      "      --threads N          worker threads (default: runtime resolution)\n"
+      "      --max-jobs N         compute at most N cache misses (interruption budget)\n"
+      "      --no-cache           force recomputation; nothing read or stored\n"
+      "      --min-hit-rate F     fail (exit 1) when cache hits / jobs < F\n"
+      "      --print-metrics      print per-job metric rows\n"
+      "  validate <spec.json>...  parse + validate only\n"
+      "  hash <spec.json>         print the spec hash and every job hash\n"
+      "  cache stats|clear [--cache-dir D]\n");
+}
+
+struct CliError {
+  int exit_code;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "adc_scenario: %s\n", message.c_str());
+  print_usage();
+  throw CliError{2};
+}
+
+std::string take_value(const std::vector<std::string>& args, std::size_t& i) {
+  if (i + 1 >= args.size()) usage_error("missing value for " + args[i]);
+  return args[++i];
+}
+
+int run_command(const std::vector<std::string>& args) {
+  RunOptions options;
+  double min_hit_rate = -1.0;
+  bool print_metrics = false;
+  std::vector<std::string> spec_paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--cache-dir") {
+      options.cache_dir = take_value(args, i);
+    } else if (arg == "--report-dir") {
+      options.report_dir = take_value(args, i);
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::strtoul(take_value(args, i).c_str(),
+                                                           nullptr, 10));
+    } else if (arg == "--max-jobs") {
+      options.max_jobs = std::strtoull(take_value(args, i).c_str(), nullptr, 10);
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--min-hit-rate") {
+      min_hit_rate = std::strtod(take_value(args, i).c_str(), nullptr);
+    } else if (arg == "--print-metrics") {
+      print_metrics = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown option " + arg);
+    } else {
+      spec_paths.push_back(arg);
+    }
+  }
+  if (spec_paths.empty()) usage_error("run: no spec files given");
+
+  ScenarioRunner runner(options);
+  bool ok = true;
+  for (const auto& path : spec_paths) {
+    const auto spec = load_spec_file(path);
+    const auto result = runner.run(spec);
+    const double hit_rate =
+        result.jobs_total == 0
+            ? 1.0
+            : static_cast<double>(result.cache_hits) / static_cast<double>(result.jobs_total);
+    std::printf("scenario %s: %zu jobs, %zu cache hits (%.1f%%), %zu computed, %zu skipped\n",
+                spec.name.c_str(), result.jobs_total, result.cache_hits, 100.0 * hit_rate,
+                result.computed, result.skipped);
+    if (!result.report_json_path.empty()) {
+      std::printf("  report: %s\n", result.report_json_path.c_str());
+    }
+    if (result.manifest_path.has_value()) {
+      std::printf("  manifest: %s\n", result.manifest_path->c_str());
+    }
+    if (const auto* summary = result.report.find("summary")) {
+      std::printf("  summary: %s\n", json::dump_compact(*summary).c_str());
+    }
+    if (print_metrics || result.jobs_total == 1) {
+      for (const auto& row : result.report.find("results")->items()) {
+        const auto* metrics = row.find("metrics");
+        std::printf("  seed %llu point %s -> %s\n",
+                    static_cast<unsigned long long>(row.find("seed")->as_uint64()),
+                    json::dump_compact(*row.find("point")).c_str(),
+                    metrics->is_null() ? "(not computed)"
+                                       : json::dump_compact(*metrics).c_str());
+      }
+    }
+    if (min_hit_rate >= 0.0 && hit_rate < min_hit_rate) {
+      std::fprintf(stderr, "adc_scenario: %s hit rate %.3f below required %.3f\n",
+                   spec.name.c_str(), hit_rate, min_hit_rate);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+int validate_command(const std::vector<std::string>& args) {
+  if (args.empty()) usage_error("validate: no spec files given");
+  int failures = 0;
+  for (const auto& path : args) {
+    try {
+      const auto spec = load_spec_file(path);
+      const auto jobs = expand_jobs(spec);
+      std::printf("%s: OK (name=%s, measurement=%s, %zu jobs)\n", path.c_str(),
+                  spec.name.c_str(), std::string(to_string(spec.measurement.type)).c_str(),
+                  jobs.size());
+    } catch (const adc::common::AdcError& e) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int hash_command(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage_error("hash: expected exactly one spec file");
+  const auto spec = load_spec_file(args[0]);
+  const auto jobs = expand_jobs(spec);
+  std::printf("spec_hash   %s\n", spec_hash(spec).c_str());
+  std::printf("fingerprint %s\n", to_hex(golden_code_fingerprint()).c_str());
+  std::printf("jobs        %zu\n", jobs.size());
+  constexpr std::size_t kMaxPrinted = 32;
+  for (std::size_t i = 0; i < jobs.size() && i < kMaxPrinted; ++i) {
+    const auto resolved = resolve_job(spec, jobs[i]);
+    std::printf("  %s  %s\n", job_hash(resolved).c_str(),
+                json::canonical(job_document(resolved)).c_str());
+  }
+  if (jobs.size() > kMaxPrinted) {
+    std::printf("  ... %zu more\n", jobs.size() - kMaxPrinted);
+  }
+  return 0;
+}
+
+int cache_command(const std::vector<std::string>& args) {
+  if (args.empty()) usage_error("cache: expected stats or clear");
+  std::string root;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--cache-dir") {
+      std::size_t j = i;
+      root = take_value(args, j);
+      ++i;
+    } else {
+      usage_error("unknown option " + args[i]);
+    }
+  }
+  ResultCache cache(root);
+  if (args[0] == "stats") {
+    const auto stats = cache.stats();
+    std::printf("cache_dir %s\nentries %llu\nbytes %llu\n", cache.root().c_str(),
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<unsigned long long>(stats.bytes));
+    return 0;
+  }
+  if (args[0] == "clear") {
+    const auto removed = cache.clear();
+    std::printf("cleared %llu entries from %s\n",
+                static_cast<unsigned long long>(removed), cache.root().c_str());
+    return 0;
+  }
+  usage_error("cache: unknown subcommand " + args[0]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) usage_error("no command given");
+    const std::string command = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (command == "run") return run_command(rest);
+    if (command == "validate") return validate_command(rest);
+    if (command == "hash") return hash_command(rest);
+    if (command == "cache") return cache_command(rest);
+    if (command == "--help" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    usage_error("unknown command " + command);
+  } catch (const CliError& e) {
+    return e.exit_code;
+  } catch (const adc::common::AdcError& e) {
+    std::fprintf(stderr, "adc_scenario: %s\n", e.what());
+    return 1;
+  }
+}

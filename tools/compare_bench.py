@@ -2,7 +2,7 @@
 """Compare two google-benchmark JSON result files and flag regressions.
 
 Usage:
-    tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
+    tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15] [--json]
 
 Matches benchmarks by name and compares per-iteration real time (the
 benchmark library's primary measurement; items_per_second is derived from
@@ -10,11 +10,20 @@ it). A benchmark regresses when its current time exceeds the baseline by
 more than the threshold (default 15 %, chosen above the observed run-to-run
 noise of the CI runners so the report stays quiet on healthy changes).
 
-Exit status: 0 when nothing regressed, 1 when at least one benchmark did,
-2 on malformed input. CI wires this as a *non-blocking* report: the job
-prints the table and the verdict but a regression does not fail the build —
-benchmark machines are shared and noisy, so a human reads the report before
-acting on it.
+A missing, unreadable or empty *baseline* is not an error: the first run of
+a new benchmark suite (or a freshly created CI cache) has nothing to compare
+against, so the script says so and exits 0. A malformed *current* file is a
+real failure of the run under test and exits 2.
+
+With --json the verdict is emitted as a machine-readable document on stdout
+(status, per-benchmark rows, threshold) for CI artifact upload; the human
+table moves to stderr.
+
+Exit status: 0 when nothing regressed (or there was no baseline), 1 when at
+least one benchmark did, 2 on malformed current input. CI wires this as a
+*non-blocking* report: the job prints the table and the verdict but a
+regression does not fail the build — benchmark machines are shared and
+noisy, so a human reads the report before acting on it.
 """
 
 from __future__ import annotations
@@ -24,13 +33,16 @@ import json
 import sys
 
 
-def load_benchmarks(path: str) -> dict[str, dict]:
-    """Map benchmark name -> entry, keeping only real iteration runs."""
+def load_benchmarks(path: str) -> dict[str, dict] | None:
+    """Map benchmark name -> entry, keeping only real iteration runs.
+
+    Returns None when the file is missing or not valid benchmark JSON.
+    """
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        raise SystemExit(f"compare_bench: cannot read {path}: {err}")
+    except (OSError, json.JSONDecodeError):
+        return None
     out: dict[str, dict] = {}
     for entry in doc.get("benchmarks", []):
         # Aggregate rows (mean/median/stddev of repetitions) would double-count.
@@ -59,49 +71,123 @@ def main() -> int:
         default=0.15,
         help="relative slowdown that counts as a regression (default 0.15)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable verdict on stdout (table goes to stderr)",
+    )
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
+    report = sys.stderr if args.as_json else sys.stdout
+
+    def emit_json(document: dict) -> None:
+        if args.as_json:
+            json.dump(document, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+
     curr = load_benchmarks(args.current)
-    if not base or not curr:
-        print("compare_bench: no iteration benchmarks found in one of the inputs")
+    if curr is None or not curr:
+        print(f"compare_bench: no iteration benchmarks in {args.current}", file=sys.stderr)
         return 2
+
+    base = load_benchmarks(args.baseline)
+    if base is None or not base:
+        reason = "missing or unreadable" if base is None else "empty"
+        print(
+            f"compare_bench: baseline {args.baseline} is {reason}; "
+            "nothing to compare against (first run?) — skipping comparison",
+            file=report,
+        )
+        emit_json(
+            {
+                "status": "no_baseline",
+                "baseline": args.baseline,
+                "current": args.current,
+                "threshold": args.threshold,
+                "benchmarks": [],
+            }
+        )
+        return 0
 
     common = [name for name in base if name in curr]
     if not common:
-        print("compare_bench: no benchmarks in common")
-        return 2
+        print("compare_bench: no benchmarks in common — skipping comparison", file=report)
+        emit_json(
+            {
+                "status": "no_overlap",
+                "baseline": args.baseline,
+                "current": args.current,
+                "threshold": args.threshold,
+                "benchmarks": [],
+                "only_in_baseline": sorted(base),
+                "only_in_current": sorted(curr),
+            }
+        )
+        return 0
 
     width = max(len(n) for n in common)
     regressions = []
-    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}")
+    rows = []
+    print(
+        f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}",
+        file=report,
+    )
     for name in common:
         t_base = base[name]["real_time"]
         t_curr = curr[name]["real_time"]
         delta = t_curr / t_base - 1.0 if t_base > 0 else float("inf")
-        mark = ""
-        if delta > args.threshold:
+        regressed = delta > args.threshold
+        if regressed:
             regressions.append((name, delta))
-            mark = "  <-- REGRESSION"
+        rows.append(
+            {
+                "name": name,
+                "baseline_ns": t_base,
+                "current_ns": t_curr,
+                "delta": delta,
+                "regression": regressed,
+            }
+        )
+        mark = "  <-- REGRESSION" if regressed else ""
         print(
             f"{name:<{width}}  {fmt_time(t_base):>10}  {fmt_time(t_curr):>10}"
-            f"  {delta:>+7.1%}{mark}"
+            f"  {delta:>+7.1%}{mark}",
+            file=report,
         )
 
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
     if only_base:
-        print(f"\nonly in baseline: {', '.join(only_base)}")
+        print(f"\nonly in baseline: {', '.join(only_base)}", file=report)
     if only_curr:
-        print(f"only in current:  {', '.join(only_curr)}")
+        print(f"only in current:  {', '.join(only_curr)}", file=report)
+
+    emit_json(
+        {
+            "status": "regression" if regressions else "ok",
+            "baseline": args.baseline,
+            "current": args.current,
+            "threshold": args.threshold,
+            "benchmarks": rows,
+            "only_in_baseline": only_base,
+            "only_in_current": only_curr,
+        }
+    )
 
     if regressions:
-        print(f"\n{len(regressions)} benchmark(s) slower than baseline by >"
-              f" {args.threshold:.0%}:")
+        print(
+            f"\n{len(regressions)} benchmark(s) slower than baseline by >"
+            f" {args.threshold:.0%}:",
+            file=report,
+        )
         for name, delta in regressions:
-            print(f"  {name}: {delta:+.1%}")
+            print(f"  {name}: {delta:+.1%}", file=report)
         return 1
-    print(f"\nno regression beyond {args.threshold:.0%} on {len(common)} benchmarks")
+    print(
+        f"\nno regression beyond {args.threshold:.0%} on {len(common)} benchmarks",
+        file=report,
+    )
     return 0
 
 
