@@ -35,6 +35,23 @@ void BM_ConvertNominal(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvertNominal)->Arg(1 << 10)->Arg(1 << 13);
 
+// The same nominal die under the fast fidelity profile (counter-based noise
+// planes + polynomial math kernels; common/fidelity.hpp). The ratio of this
+// to BM_ConvertNominal is the profile's headline speedup.
+void BM_ConvertNominalFast(benchmark::State& state) {
+  auto config = adc::pipeline::nominal_design();
+  config.fidelity = adc::common::FidelityProfile::kFast;
+  adc::pipeline::PipelineAdc converter(config);
+  const adc::dsp::SineSignal tone(0.985, 10.0037e6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(converter.convert(tone, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConvertNominalFast)->Arg(1 << 10)->Arg(1 << 13);
+
 void BM_ConvertIdeal(benchmark::State& state) {
   adc::pipeline::PipelineAdc converter(adc::pipeline::ideal_design());
   const adc::dsp::SineSignal tone(0.985, 10.0037e6);

@@ -57,6 +57,10 @@ class HoldLeakage {
 
   [[nodiscard]] const LeakageSpec& spec() const { return spec_; }
 
+  /// Realized per-side mismatch scales (fast-profile droop precompute).
+  [[nodiscard]] double scale_p() const { return scale_p_; }
+  [[nodiscard]] double scale_n() const { return scale_n_; }
+
  private:
   HoldLeakage(const LeakageSpec& spec, double mis_p, double mis_n);
   LeakageSpec spec_;

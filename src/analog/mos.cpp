@@ -68,8 +68,10 @@ double Mos::g_on(double vov) const {
   // turn-off keeps the distortion of an underdriven transmission gate in the
   // low-order harmonics where it belongs.
   constexpr double s = 0.05;  // [V]
+  // The fast profile reads the Chebyshev surrogates fitted over this
+  // expression (switches.cpp); here libm is the exact contract.
   const double vov_eff =
-      vov > 8.0 * s ? vov : s * std::log1p(std::exp(vov / s));
+      vov > 8.0 * s ? vov : s * std::log1p(std::exp(vov / s));  // lint-ok: see above
   if (vov_eff <= 0.0) return 0.0;
   return params_.kp * params_.w_over_l * vov_eff / (1.0 + params_.theta * vov_eff);
 }

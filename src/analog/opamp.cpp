@@ -7,6 +7,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/fastmath.hpp"
 #include "common/math_util.hpp"
 
 namespace adc::analog {
@@ -36,7 +37,9 @@ double Opamp::time_constant(double beta, double ibias) const {
   return 1.0 / (2.0 * std::numbers::pi * beta * gbw);
 }
 
-SettleResult Opamp::settle(double target, double t_settle, double beta, double ibias) const {
+template <adc::common::FidelityProfile P>
+SettleResult Opamp::settle_impl(double target, double t_settle, double beta,
+                                double ibias) const {
   ADC_EXPECT(std::isfinite(target), "Opamp::settle: non-finite target voltage");
   ADC_EXPECT(t_settle >= 0.0, "Opamp::settle: negative settling time");
   ADC_EXPECT(std::isfinite(ibias) && ibias >= 0.0, "Opamp::settle: bad bias current");
@@ -75,7 +78,7 @@ SettleResult Opamp::settle(double target, double t_settle, double beta, double i
   double dyn_err_mag = 0.0;
   if (mag <= sr * tau) {
     // Pure linear settling.
-    dyn_err_mag = mag * std::exp(-t_settle / tau);
+    dyn_err_mag = mag * adc::common::math::exp_p<P>(-t_settle / tau);
   } else {
     // Slew until the remaining step equals SR*tau, then settle linearly.
     r.slew_limited = true;
@@ -83,7 +86,7 @@ SettleResult Opamp::settle(double target, double t_settle, double beta, double i
     if (t_settle <= t_slew) {
       dyn_err_mag = mag - sr * t_settle;  // still slewing at the sample instant
     } else {
-      dyn_err_mag = sr * tau * std::exp(-(t_settle - t_slew) / tau);
+      dyn_err_mag = sr * tau * adc::common::math::exp_p<P>(-(t_settle - t_slew) / tau);
     }
   }
   r.dynamic_error = sign * dyn_err_mag;
@@ -98,6 +101,21 @@ SettleResult Opamp::settle(double target, double t_settle, double beta, double i
   ADC_ENSURE(adc::common::in_closed_range(r.output, -params_.output_swing, params_.output_swing),
              "Opamp::settle: output escaped the swing limit");
   return r;
+}
+
+SettleResult Opamp::settle(double target, double t_settle, double beta, double ibias) const {
+  return settle_impl<adc::common::FidelityProfile::kExact>(target, t_settle, beta, ibias);
+}
+
+Opamp::SettleCoeffs Opamp::settle_coeffs(double beta, double ibias) const {
+  SettleCoeffs coeffs;
+  coeffs.inv_gain_denom = 1.0 / (1.0 + 1.0 / (params_.dc_gain * beta));
+  const double tau0 = time_constant(beta, ibias);
+  coeffs.neg_inv_tau0 = -1.0 / tau0;
+  coeffs.sr = slew_at_bias(ibias);
+  coeffs.sr_tau0 = coeffs.sr * tau0;
+  coeffs.inv_swing = 1.0 / params_.output_swing;
+  return coeffs;
 }
 
 }  // namespace adc::analog

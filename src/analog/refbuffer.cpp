@@ -44,7 +44,7 @@ void ReferenceBuffer::consume(double activity, double period_s) {
     const auto period_bits = std::bit_cast<std::uint64_t>(period_s);
     if (period_bits != recharge_period_bits_) {
       const double tau = spec_.output_resistance * spec_.decap_farad;
-      recharge_factor_ = std::exp(-period_s / tau);
+      recharge_factor_ = std::exp(-period_s / tau);  // lint-ok: cached on period change
       recharge_period_bits_ = period_bits;
     }
     droop_ *= recharge_factor_;

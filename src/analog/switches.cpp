@@ -4,9 +4,12 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fastmath.hpp"
 #include "common/math_util.hpp"
 
 namespace adc::analog {
+
+using adc::common::FidelityProfile;
 
 SwitchModel::SwitchModel(const SwitchConfig& config)
     : config_(config),
@@ -63,14 +66,27 @@ double SwitchModel::r_on(double u) const {
   return 1.0 / std::max(g, g_floor);
 }
 
-double SwitchModel::c_junction(double u) const {
+template <FidelityProfile P>
+double SwitchModel::c_junction_impl(double u) const {
   u = adc::common::clamp(u, 0.0, config_.vdd);
   // Reverse-biased drain junction to the grounded substrate.
-  return config_.cj0 / std::pow(1.0 + u / config_.cj_phi, config_.cj_m);
+  return config_.cj0 / adc::common::math::pow_p<P>(1.0 + u / config_.cj_phi, config_.cj_m);
+}
+
+double SwitchModel::c_junction(double u) const {
+  return c_junction_impl<FidelityProfile::kExact>(u);
+}
+
+double SwitchModel::c_junction_fast(double u) const {
+  return c_junction_impl<FidelityProfile::kFast>(u);
 }
 
 double SwitchModel::time_constant(double u, double c_load) const {
   return r_on(u) * (c_load + c_junction(u));
+}
+
+double SwitchModel::time_constant_fast(double u, double c_load) const {
+  return r_on(u) * (c_load + c_junction_fast(u));
 }
 
 namespace {
@@ -78,15 +94,17 @@ namespace {
 /// Effective channel-charge overdrive: the hard square-law turn-off is
 /// softened by the moderate/weak-inversion tail, so the charge approaches
 /// zero smoothly (softplus with scale `s`) instead of kinking.
+template <FidelityProfile P>
 double soft_overdrive(double vov, double s) {
   if (s <= 0.0) return vov > 0.0 ? vov : 0.0;
   if (vov > 8.0 * s) return vov;  // avoid exp overflow, exact limit
-  return s * std::log1p(std::exp(vov / s));
+  return s * adc::common::math::log1p_p<P>(adc::common::math::exp_p<P>(vov / s));
 }
 
 }  // namespace
 
-double SwitchModel::channel_charge(double u) const {
+template <FidelityProfile P>
+double SwitchModel::channel_charge_impl(double u) const {
   u = adc::common::clamp(u, 0.0, config_.vdd);
   const Mos& nmos = nmos_;
   const Mos& pmos = pmos_;
@@ -97,7 +115,7 @@ double SwitchModel::channel_charge(double u) const {
   double q = 0.0;
   switch (config_.type) {
     case SwitchType::kNmosOnly: {
-      q -= cch_n * soft_overdrive(config_.vdd - u - nmos.vth(u), soft);  // electrons
+      q -= cch_n * soft_overdrive<P>(config_.vdd - u - nmos.vth(u), soft);  // electrons
       break;
     }
     case SwitchType::kTransmissionGate:
@@ -105,8 +123,8 @@ double SwitchModel::channel_charge(double u) const {
       const double vth_p = config_.type == SwitchType::kBulkSwitchedTg
                                ? pmos_vth0_
                                : pmos.vth(config_.vdd - u);
-      q -= cch_n * soft_overdrive(config_.vdd - u - nmos.vth(u), soft);
-      q += cch_p * soft_overdrive(u - vth_p, soft);  // holes
+      q -= cch_n * soft_overdrive<P>(config_.vdd - u - nmos.vth(u), soft);
+      q += cch_p * soft_overdrive<P>(u - vth_p, soft);  // holes
       break;
     }
     case SwitchType::kBootstrapped: {
@@ -117,6 +135,14 @@ double SwitchModel::channel_charge(double u) const {
     }
   }
   return q;
+}
+
+double SwitchModel::channel_charge(double u) const {
+  return channel_charge_impl<FidelityProfile::kExact>(u);
+}
+
+double SwitchModel::channel_charge_fast(double u) const {
+  return channel_charge_impl<FidelityProfile::kFast>(u);
 }
 
 DifferentialSampler::DifferentialSampler(const SwitchConfig& config, double common_mode,
@@ -149,6 +175,46 @@ double DifferentialSampler::tracking_error(double v_diff, double dvdt) const {
   // average is even in v_diff, so only odd-order distortion survives, growing
   // linearly with input frequency -- the Fig. 6 mechanism.
   return -average_time_constant(v_diff) * dvdt;
+}
+
+double DifferentialSampler::average_time_constant_direct_fast(double v_diff) const {
+  const double up = common_mode_ + 0.5 * v_diff;
+  const double un = common_mode_ - 0.5 * v_diff;
+  return 0.5 *
+         (switch_.time_constant_fast(up, c_load_) + switch_.time_constant_fast(un, c_load_));
+}
+
+double DifferentialSampler::charge_injection_error_direct_fast(double v_diff) const {
+  const double frac = switch_.config().injection_fraction;
+  if (frac <= 0.0) return 0.0;
+  const double up = common_mode_ + 0.5 * v_diff;
+  const double un = common_mode_ - 0.5 * v_diff;
+  return frac * (switch_.channel_charge_fast(up) - switch_.channel_charge_fast(un)) / c_load_;
+}
+
+void DifferentialSampler::prepare_fast(double v_max) {
+  fit_vmax2_ = -1.0;  // fits below must sample the direct expressions
+  // Past the supply clamp the per-side curves lose smoothness and a
+  // polynomial fit rings, so trim the requested span to the clamp-free
+  // region around the common mode.
+  const double v_kink = 2.0 * std::min(common_mode_, switch_.config().vdd - common_mode_);
+  v_max = std::min(std::abs(v_max), 0.999 * v_kink);
+  if (!(v_max > 0.0)) return;
+  const double z_max = v_max * v_max;
+  constexpr int kDegree = 10;  // ~1e-8 relative over the smooth span
+  tau_fit_ = adc::common::Chebyshev::fit(
+      [this](double z) { return average_time_constant_direct_fast(std::sqrt(z)); }, 0.0,
+      z_max, kDegree);
+  // H(z) = q_err(sqrt(z))/sqrt(z) is smooth through z = 0 because q_err is
+  // odd; the Chebyshev nodes are interior, so the quotient never divides
+  // by zero.
+  inj_fit_ = adc::common::Chebyshev::fit(
+      [this](double z) {
+        const double v = std::sqrt(z);
+        return charge_injection_error_direct_fast(v) / v;
+      },
+      0.0, z_max, kDegree);
+  fit_vmax2_ = z_max;
 }
 
 }  // namespace adc::analog

@@ -17,6 +17,8 @@
 #pragma once
 
 #include "analog/mos.hpp"
+#include "common/fidelity.hpp"
+#include "common/math_util.hpp"
 #include "common/units.hpp"
 
 namespace adc::analog {
@@ -85,9 +87,21 @@ class SwitchModel {
   /// tau(u) = Ron(u) * (c_load + Cj(u)).
   [[nodiscard]] double time_constant(double u, double c_load) const;
 
+  /// `fast`-profile variants: identical expressions with the junction `pow`
+  /// and the softplus `log1p(exp)` routed through the polynomial kernels of
+  /// common/fastmath.hpp.
+  [[nodiscard]] double c_junction_fast(double u) const;
+  [[nodiscard]] double channel_charge_fast(double u) const;
+  [[nodiscard]] double time_constant_fast(double u, double c_load) const;
+
   [[nodiscard]] const SwitchConfig& config() const { return config_; }
 
  private:
+  template <adc::common::FidelityProfile P>
+  double c_junction_impl(double u) const;
+  template <adc::common::FidelityProfile P>
+  double channel_charge_impl(double u) const;
+
   SwitchConfig config_;
   Mos nmos_;
   Mos pmos_;
@@ -122,12 +136,48 @@ class DifferentialSampler {
   /// signal-dependent part survives as smooth low-order distortion.
   [[nodiscard]] double charge_injection_error(double v_diff) const;
 
+  /// `fast`-profile variants of the per-sample error terms (see SwitchModel).
+  /// After prepare_fast() these evaluate Chebyshev surrogates inside the
+  /// fitted span and fall back to the direct expressions outside it. In the
+  /// header so a caller evaluating both error terms can interleave the two
+  /// independent Clenshaw recurrences.
+  [[nodiscard]] double average_time_constant_fast(double v_diff) const {
+    const double z = v_diff * v_diff;
+    if (z <= fit_vmax2_) return tau_fit_(z);
+    return average_time_constant_direct_fast(v_diff);
+  }
+  [[nodiscard]] double charge_injection_error_fast(double v_diff) const {
+    if (switch_.config().injection_fraction <= 0.0) return 0.0;
+    const double z = v_diff * v_diff;
+    if (z <= fit_vmax2_) return v_diff * inj_fit_(z);
+    return charge_injection_error_direct_fast(v_diff);
+  }
+  [[nodiscard]] double tracking_error_fast(double v_diff, double dvdt) const {
+    return -average_time_constant_fast(v_diff) * dvdt;
+  }
+
+  /// Build the `fast` profile's construction-time surrogates covering
+  /// |v_diff| <= v_max (trimmed to the supply-clamp-free span where the
+  /// curves are smooth). Both error terms have exact parity — swapping
+  /// v_diff -> -v_diff swaps the two sides, so the average time constant is
+  /// even and the differential injection odd — so the fits run in z = v^2,
+  /// halving the polynomial degree for the same accuracy.
+  void prepare_fast(double v_max);
+
   [[nodiscard]] const SwitchModel& switch_model() const { return switch_; }
 
  private:
+  /// Direct (surrogate-free) fast evaluations: the construction-time fit
+  /// samples and the out-of-span fallback.
+  [[nodiscard]] double average_time_constant_direct_fast(double v_diff) const;
+  [[nodiscard]] double charge_injection_error_direct_fast(double v_diff) const;
+
   SwitchModel switch_;
   double common_mode_;
   double c_load_;
+  adc::common::Chebyshev tau_fit_;  ///< even part: tau_avg(v) = T(v^2)
+  adc::common::Chebyshev inj_fit_;  ///< odd part: q_err(v) = v * H(v^2)
+  double fit_vmax2_ = -1.0;         ///< fitted span in z = v^2; < 0 = none
 };
 
 }  // namespace adc::analog

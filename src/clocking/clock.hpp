@@ -36,6 +36,7 @@ class SamplingClock {
   [[nodiscard]] double period() const { return 1.0 / spec_.frequency_hz; }
   [[nodiscard]] double frequency() const { return spec_.frequency_hz; }
   [[nodiscard]] double jitter_rms() const { return spec_.jitter_rms_s; }
+  [[nodiscard]] double random_walk_rms() const { return spec_.random_walk_rms_s; }
 
   /// The jittered sampling instant of sample `n`: n*T + white + walk. The
   /// random-walk component accumulates one step per call, so instants must

@@ -1,0 +1,47 @@
+/// \file fidelity.hpp
+/// The fidelity-profile axis of the simulator.
+///
+/// A profile names a *determinism contract*, not an accuracy knob:
+///
+///  * `kExact` — the original bit-identity contract. Every floating-point
+///    operation and every RNG draw in program order is observable behavior;
+///    `tests/test_golden_codes.cpp` pins the exact output codes of the
+///    characterized nominal die. Noise draws come sequentially from the
+///    Marsaglia-polar `Rng` facade (bit-identical to libstdc++'s
+///    `std::normal_distribution`), and transcendentals are glibc libm.
+///
+///  * `kFast` — an equally deterministic contract with its *own* golden
+///    vectors (`tests/test_golden_codes_fast.cpp`). Per-sample noise draws
+///    come from a counter-based Philox generator through a branch-free
+///    Box–Muller transform, pre-generated as contiguous *noise planes*
+///    indexed by `(sample, draw_slot)` — determinism is positional, not
+///    sequential — and the hot transcendentals route through the
+///    SIMD-friendly polynomial kernels of `common/fastmath.hpp`.
+///
+/// Construction-time Monte-Carlo draws (capacitor mismatch, comparator
+/// offsets, reference level errors, ...) always use the exact `Rng` facade
+/// in both profiles, so a `(design, seed)` pair fabricates the *same die*
+/// under either profile; only the per-sample noise stream and the rounding
+/// of the per-sample math differ. That is what makes the cross-profile
+/// physics-parity test (ENOB/SNDR/THD/DNL/INL within measurement noise)
+/// meaningful.
+///
+/// See docs/PERFORMANCE.md for the two-contract table.
+#pragma once
+
+#include <string_view>
+
+namespace adc::common {
+
+/// Which determinism contract the per-sample simulation kernel honors.
+enum class FidelityProfile {
+  kExact,  ///< bit-identity contract (sequential polar RNG, libm)
+  kFast,   ///< positional-determinism contract (counter RNG, fastmath)
+};
+
+/// Spelling used in scenario specs, reports and cache keys.
+[[nodiscard]] constexpr std::string_view to_string(FidelityProfile profile) {
+  return profile == FidelityProfile::kFast ? "fast" : "exact";
+}
+
+}  // namespace adc::common

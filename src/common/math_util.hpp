@@ -2,11 +2,77 @@
 /// Small numeric helpers shared by the DSP and circuit models.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <numbers>
 #include <span>
 #include <vector>
 
 namespace adc::common {
+
+/// Chebyshev interpolant of a smooth function on [lo, hi]: fitted once at
+/// the degree+1 Chebyshev roots, evaluated by the Clenshaw recurrence. The
+/// `fast` fidelity profile uses these as construction-time surrogates for
+/// per-sample transcendental chains (e.g. the sampling-switch network);
+/// for the smooth circuit curves involved, a degree ~12 fit is accurate to
+/// well below the converter's noise floor.
+class Chebyshev {
+ public:
+  Chebyshev() = default;
+
+  /// Interpolate `f` on [lo, hi] with a polynomial of degree `degree`.
+  template <typename F>
+  [[nodiscard]] static Chebyshev fit(const F& f, double lo, double hi, int degree) {
+    Chebyshev c;
+    const int n = degree + 1;
+    c.mid_ = 0.5 * (hi + lo);
+    c.half_ = 0.5 * (hi - lo);
+    c.inv_half_ = 1.0 / c.half_;
+    std::vector<double> fx(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      const double theta = std::numbers::pi * (static_cast<double>(k) + 0.5) /
+                           static_cast<double>(n);
+      fx[static_cast<std::size_t>(k)] = f(c.mid_ + c.half_ * std::cos(theta));
+    }
+    c.coef_.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < n; ++k) {
+        s += fx[static_cast<std::size_t>(k)] *
+             std::cos(std::numbers::pi * static_cast<double>(j) *
+                      (static_cast<double>(k) + 0.5) / static_cast<double>(n));
+      }
+      c.coef_[static_cast<std::size_t>(j)] = 2.0 * s / static_cast<double>(n);
+    }
+    c.coef_[0] *= 0.5;
+    return c;
+  }
+
+  /// Evaluate at x (callers keep x inside [lo, hi]; outside, the polynomial
+  /// extrapolates and accuracy degrades rapidly).
+  [[nodiscard]] double operator()(double x) const {
+    const double y = (x - mid_) * inv_half_;
+    const double two_y = 2.0 * y;
+    double b1 = 0.0;
+    double b2 = 0.0;
+    for (std::size_t k = coef_.size(); k-- > 1;) {
+      const double b0 = two_y * b1 - b2 + coef_[k];
+      b2 = b1;
+      b1 = b0;
+    }
+    return y * b1 - b2 + coef_[0];
+  }
+
+  [[nodiscard]] bool valid() const { return !coef_.empty(); }
+  [[nodiscard]] double lo() const { return mid_ - half_; }
+  [[nodiscard]] double hi() const { return mid_ + half_; }
+
+ private:
+  std::vector<double> coef_;
+  double mid_ = 0.0;
+  double half_ = 1.0;
+  double inv_half_ = 1.0;
+};
 
 /// Power ratio to decibels: 10*log10(ratio). `ratio` must be > 0.
 [[nodiscard]] double db_from_power_ratio(double ratio);

@@ -1,0 +1,68 @@
+/// \file noise_plane.hpp
+/// Capture-batched noise draws for the `fast` fidelity profile.
+///
+/// Under the `fast` contract a conversion kernel does not draw noise one
+/// deviate at a time; before the sample loop it generates a contiguous
+/// *noise plane* — `count` rows of `slots_per_sample` standard normals —
+/// and each sample reads its row by pointer. The deviate in
+/// `(sample, slot)` is `philox_normal_at(key, epoch, sample·slots + slot)`:
+/// a pure function of position, so the plane is bit-identical whether it is
+/// generated in one shot, in chunks, or re-generated on another thread
+/// count, and a model that skips a slot (e.g. the low comparator when the
+/// high one already decided) does not shift any other model's draws.
+///
+/// `epoch` distinguishes captures: the converter bumps it once per capture
+/// so repeated captures see fresh noise, mirroring how the sequential
+/// exact-profile stream advances across calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/counter_rng.hpp"
+
+namespace adc::common {
+
+/// A (sample × slot) matrix of standard-normal deviates with positional
+/// determinism. Reusable: `generate` only grows the backing buffer.
+class NoisePlane {
+ public:
+  NoisePlane() = default;
+
+  NoisePlane(std::uint64_t key, std::uint32_t slots_per_sample)
+      : key_(key), slots_(slots_per_sample) {}
+
+  /// Materialize rows [first_sample, first_sample + count) of capture
+  /// `epoch`. Any previous contents are replaced.
+  void generate(std::uint64_t epoch, std::uint64_t first_sample, std::size_t count) {
+    epoch_ = epoch;
+    first_sample_ = first_sample;
+    count_ = count;
+    buffer_.resize(count * slots_);
+    philox_normal_fill(key_, epoch, first_sample * slots_, buffer_);
+  }
+
+  /// Row of `slots_per_sample()` deviates for `sample` (must lie in the
+  /// generated window).
+  [[nodiscard]] const double* row(std::uint64_t sample) const {
+    ADC_EXPECT(sample >= first_sample_ && sample - first_sample_ < count_,
+               "NoisePlane::row: sample outside the generated window");
+    return buffer_.data() + (sample - first_sample_) * slots_;
+  }
+
+  [[nodiscard]] std::uint32_t slots_per_sample() const { return slots_; }
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t first_sample_ = 0;
+  std::size_t count_ = 0;
+  std::uint32_t slots_ = 0;
+  std::vector<double> buffer_;
+};
+
+}  // namespace adc::common

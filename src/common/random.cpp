@@ -44,9 +44,13 @@ std::uint64_t Rng::index(std::uint64_t n) {
   return dist(engine_);
 }
 
+void Rng::gaussian_fill(std::span<double> out, double sigma) {
+  for (auto& x : out) x = gaussian(sigma);
+}
+
 std::vector<double> Rng::gaussian_vector(std::size_t n, double sigma) {
   std::vector<double> out(n);
-  for (auto& x : out) x = gaussian(sigma);
+  gaussian_fill(out, sigma);
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -47,6 +48,10 @@ class Rng {
 
   /// Uniform integer in [0, n).
   std::uint64_t index(std::uint64_t n);
+
+  /// Fill `out` with independent gaussian(sigma) draws, no allocation.
+  /// Buffer-reuse form of `gaussian_vector` for batched callers.
+  void gaussian_fill(std::span<double> out, double sigma);
 
   /// A vector of n independent gaussian(sigma) draws.
   [[nodiscard]] std::vector<double> gaussian_vector(std::size_t n, double sigma);

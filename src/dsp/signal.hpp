@@ -23,6 +23,15 @@ class Signal {
   [[nodiscard]] virtual double value(double t) const = 0;
   /// Instantaneous time derivative [V/s] at time t [s].
   [[nodiscard]] virtual double slope(double t) const = 0;
+
+  /// `fast`-profile evaluation: value and slope together, with the
+  /// transcendentals routed through common/fastmath.hpp where a source
+  /// overrides it (sines share one sincos). The default falls back to the
+  /// exact pair, so purely algebraic sources need no override.
+  virtual void sample_fast(double t, double& value_out, double& slope_out) const {
+    value_out = value(t);
+    slope_out = slope(t);
+  }
 };
 
 /// Pure sine: offset + amplitude * sin(2*pi*f*t + phase).
@@ -33,6 +42,7 @@ class SineSignal final : public Signal {
 
   [[nodiscard]] double value(double t) const override;
   [[nodiscard]] double slope(double t) const override;
+  void sample_fast(double t, double& value_out, double& slope_out) const override;
 
   [[nodiscard]] double amplitude() const { return amplitude_; }
   [[nodiscard]] double frequency() const { return frequency_; }
@@ -56,6 +66,7 @@ class MultiToneSignal final : public Signal {
 
   [[nodiscard]] double value(double t) const override;
   [[nodiscard]] double slope(double t) const override;
+  void sample_fast(double t, double& value_out, double& slope_out) const override;
 
  private:
   std::vector<Tone> tones_;

@@ -1,5 +1,6 @@
 #include "pipeline/adc.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -7,6 +8,24 @@
 namespace adc::pipeline {
 
 using adc::common::require;
+
+namespace {
+
+// Noise-plane slot layout of the fast profile (see common/noise_plane.hpp):
+// one row of standard normals per sample, each mechanism owning a fixed
+// slot, so an unconsumed draw (e.g. the low ADSC comparator when the high
+// one already decided) never shifts another mechanism's noise.
+constexpr std::size_t kSlotRipple = 0;     ///< SC-bias switching ripple
+constexpr std::size_t kSlotJitter = 1;     ///< white aperture jitter
+constexpr std::size_t kSlotWalk = 2;       ///< random-walk jitter step
+constexpr std::size_t kSlotStageBase = 3;  ///< first stage slot
+constexpr std::size_t kSlotsPerStage = 3;  ///< thermal, cmp_high, cmp_low
+/// Samples per plane generation: bounds the buffer (~1.2 MB at the nominal
+/// 36 slots/sample) while keeping the fill loop long enough to vectorize.
+/// Chunking cannot change any value — draws are positional.
+constexpr std::size_t kPlaneChunkSamples = 4096;
+
+}  // namespace
 
 NonIdealities NonIdealities::all_off() {
   NonIdealities f;
@@ -40,9 +59,9 @@ AdcConfig PipelineAdc::normalize(AdcConfig c) {
   // Sampled-noise power is kT/C: fold the temperature into the excess factor.
   c.stage.noise_excess *= t_ratio;
   // Junction leakage doubles every ~12 K.
-  c.stage.leakage.i0 *= std::pow(2.0, (c.temperature_k - 300.0) / 12.0);
+  c.stage.leakage.i0 *= std::pow(2.0, (c.temperature_k - 300.0) / 12.0);  // lint-ok: construction-time derate
   // Carrier mobility falls ~T^-1.5: gm, hence GBW and slew, degrade.
-  const double mobility = std::pow(t_ratio, -1.5);
+  const double mobility = std::pow(t_ratio, -1.5);  // lint-ok: construction-time derate
   c.stage.opamp.gbw_hz *= mobility;
   c.stage.opamp.slew_rate *= mobility;
 
@@ -177,7 +196,20 @@ PipelineAdc::PipelineAdc(const AdcConfig& config)
   leg_currents_.reserve(stages_.size());
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     leg_currents_.push_back(mirrors_.leg_current(i, master_base_));
+    stages_[i].prepare_fast(leg_currents_[i], windows_.hold_s);
   }
+
+  // Fast-profile surrogates for the input-switch error terms, spanning the
+  // full differential scale with 2x overdrive margin (beyond that the fast
+  // getters fall back to the direct expressions).
+  sampler_.prepare_fast(config_.full_scale_vpp);
+
+  // Fast-profile noise plane: keyed by the conversion-noise sub-stream seed
+  // (a hash of the die seed), so distinct dies get independent planes and
+  // the key costs nothing the exact profile doesn't already pay.
+  const auto noise_slots = static_cast<std::uint32_t>(
+      kSlotStageBase + kSlotsPerStage * stages_.size() + flash_.comparator_count());
+  noise_plane_ = adc::common::NoisePlane(noise_rng_.seed(), noise_slots);
 }
 
 double PipelineAdc::lsb() const {
@@ -221,8 +253,151 @@ adc::digital::RawConversion PipelineAdc::quantize_sample(double sampled) {
   return raw;
 }
 
+adc::digital::RawConversion PipelineAdc::quantize_sample_fast(double sampled,
+                                                              const double* draws) {
+  const double settle_s = settle_s_;
+
+  // Ripple scales every leg current by the same factor f; instead of
+  // re-deriving each stage's settle constants from its rippled current
+  // (a sqrt + division chain per stage), rescale them analytically:
+  // GBW ~ sqrt(I) so tau /= sqrt(f), SR ~ I so sr *= f. One sqrt per sample
+  // covers all stages.
+  double f = 1.0;
+  double sqrt_f = 1.0;
+  if (ripple_sigma_ > 0.0) {
+    f = std::max(1.0 + ripple_sigma_ * draws[kSlotRipple], 0x1p-20);
+    sqrt_f = std::sqrt(f);
+  }
+
+  const double vref = refs_.vref();
+
+  adc::digital::RawConversion raw;
+  double x = sampled;
+  double activity = 0.0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const auto r = stages_[i].process_fast(x, vref, sqrt_f, f, settle_s,
+                                           draws + kSlotStageBase + kSlotsPerStage * i);
+    raw.stage_codes.push_back(r.code);
+    activity += std::abs(static_cast<double>(adc::digital::value(r.code)));
+    x = r.residue;
+  }
+  raw.flash_code =
+      flash_.quantize_fast(x, vref, draws + kSlotStageBase + kSlotsPerStage * stages_.size());
+
+  refs_.consume(activity, inv_rate_);
+  return raw;
+}
+
+double PipelineAdc::tracked_sample_fast(const adc::dsp::Signal& signal, std::size_t k,
+                                        const double* draws, double& walk_s) const {
+  // Jittered sampling instant from the clock's plane slots (same physics as
+  // SamplingClock::sample_instant, positional deviates instead of
+  // sequential draws).
+  double t = static_cast<double>(k) * clock_.period();
+  if (clock_.jitter_rms() > 0.0) t += clock_.jitter_rms() * draws[kSlotJitter];
+  if (clock_.random_walk_rms() > 0.0) {
+    walk_s += clock_.random_walk_rms() * draws[kSlotWalk];
+    t += walk_s;
+  }
+  double v = 0.0;
+  double dvdt = 0.0;
+  signal.sample_fast(t, v, dvdt);
+  double tracked = v;
+  if (config_.enable.tracking_nonlinearity) {
+    tracked += sampler_.tracking_error_fast(v, dvdt);
+    tracked += sampler_.charge_injection_error_fast(v);
+  }
+  return tracked;
+}
+
+double PipelineAdc::front_end_fast(double v_diff) const {
+  if (!config_.enable.tracking_nonlinearity) return v_diff;
+  return v_diff + sampler_.charge_injection_error_fast(v_diff);
+}
+
+adc::digital::RawConversion PipelineAdc::quantize_dc_fast(double tracked) {
+  // A DC conversion is its own one-sample capture (epoch bump), so repeated
+  // calls see fresh noise exactly like repeated exact-profile calls do.
+  noise_plane_.generate(++fast_epoch_, 0, 1);
+  return quantize_sample_fast(tracked, noise_plane_.row(0));
+}
+
+std::vector<int> PipelineAdc::convert_fast(const adc::dsp::Signal& signal, std::size_t n) {
+  const std::uint64_t epoch = ++fast_epoch_;
+  std::vector<int> codes;
+  codes.reserve(n);
+  double walk_s = 0.0;
+  for (std::size_t base = 0; base < n; base += kPlaneChunkSamples) {
+    const std::size_t count = std::min(kPlaneChunkSamples, n - base);
+    noise_plane_.generate(epoch, base, count);
+    for (std::size_t k = base; k < base + count; ++k) {
+      const double* draws = noise_plane_.row(k);
+      const double tracked = tracked_sample_fast(signal, k, draws, walk_s);
+      codes.push_back(correction_.correct(quantize_sample_fast(tracked, draws)));
+    }
+  }
+  return codes;
+}
+
+StreamResult PipelineAdc::convert_stream_fast(const adc::dsp::Signal& signal, std::size_t n) {
+  const std::uint64_t epoch = ++fast_epoch_;
+  StreamResult result;
+  result.latency_cycles = alignment_.latency_cycles();
+  result.codes.reserve(n);
+  double walk_s = 0.0;
+  for (std::size_t base = 0; base < n; base += kPlaneChunkSamples) {
+    const std::size_t count = std::min(kPlaneChunkSamples, n - base);
+    noise_plane_.generate(epoch, base, count);
+    for (std::size_t k = base; k < base + count; ++k) {
+      const double* draws = noise_plane_.row(k);
+      const double tracked = tracked_sample_fast(signal, k, draws, walk_s);
+      if (auto aligned = alignment_.push(quantize_sample_fast(tracked, draws))) {
+        result.codes.push_back(correction_.correct(*aligned));
+      }
+    }
+  }
+  while (auto aligned = alignment_.flush()) {
+    result.codes.push_back(correction_.correct(*aligned));
+    if (result.codes.size() >= n) break;
+  }
+  return result;
+}
+
+std::vector<adc::digital::RawConversion> PipelineAdc::convert_raw_fast(
+    const adc::dsp::Signal& signal, std::size_t n) {
+  const std::uint64_t epoch = ++fast_epoch_;
+  std::vector<adc::digital::RawConversion> raws;
+  raws.reserve(n);
+  double walk_s = 0.0;
+  for (std::size_t base = 0; base < n; base += kPlaneChunkSamples) {
+    const std::size_t count = std::min(kPlaneChunkSamples, n - base);
+    noise_plane_.generate(epoch, base, count);
+    for (std::size_t k = base; k < base + count; ++k) {
+      const double* draws = noise_plane_.row(k);
+      raws.push_back(quantize_sample_fast(tracked_sample_fast(signal, k, draws, walk_s), draws));
+    }
+  }
+  return raws;
+}
+
+std::vector<int> PipelineAdc::convert_samples_fast(std::span<const double> voltages) {
+  const std::uint64_t epoch = ++fast_epoch_;
+  std::vector<int> codes;
+  codes.reserve(voltages.size());
+  for (std::size_t base = 0; base < voltages.size(); base += kPlaneChunkSamples) {
+    const std::size_t count = std::min(kPlaneChunkSamples, voltages.size() - base);
+    noise_plane_.generate(epoch, base, count);
+    for (std::size_t k = base; k < base + count; ++k) {
+      codes.push_back(correction_.correct(
+          quantize_sample_fast(front_end_fast(voltages[k]), noise_plane_.row(k))));
+    }
+  }
+  return codes;
+}
+
 std::vector<int> PipelineAdc::convert(const adc::dsp::Signal& signal, std::size_t n) {
   reset_state();
+  if (config_.fidelity == adc::common::FidelityProfile::kFast) return convert_fast(signal, n);
   std::vector<int> codes;
   codes.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {
@@ -240,6 +415,9 @@ std::vector<int> PipelineAdc::convert(const adc::dsp::Signal& signal, std::size_
 
 StreamResult PipelineAdc::convert_stream(const adc::dsp::Signal& signal, std::size_t n) {
   reset_state();
+  if (config_.fidelity == adc::common::FidelityProfile::kFast) {
+    return convert_stream_fast(signal, n);
+  }
   StreamResult result;
   result.latency_cycles = alignment_.latency_cycles();
   result.codes.reserve(n);
@@ -264,6 +442,9 @@ StreamResult PipelineAdc::convert_stream(const adc::dsp::Signal& signal, std::si
 
 std::vector<int> PipelineAdc::convert_samples(std::span<const double> voltages) {
   reset_state();
+  if (config_.fidelity == adc::common::FidelityProfile::kFast) {
+    return convert_samples_fast(voltages);
+  }
   std::vector<int> codes;
   codes.reserve(voltages.size());
   for (double v : voltages) {
@@ -273,16 +454,25 @@ std::vector<int> PipelineAdc::convert_samples(std::span<const double> voltages) 
 }
 
 int PipelineAdc::convert_dc(double v_diff) {
+  if (config_.fidelity == adc::common::FidelityProfile::kFast) {
+    return correction_.correct(quantize_dc_fast(front_end_fast(v_diff)));
+  }
   return correction_.correct(quantize_sample(front_end(v_diff)));
 }
 
 adc::digital::RawConversion PipelineAdc::convert_dc_raw(double v_diff) {
+  if (config_.fidelity == adc::common::FidelityProfile::kFast) {
+    return quantize_dc_fast(front_end_fast(v_diff));
+  }
   return quantize_sample(front_end(v_diff));
 }
 
 std::vector<adc::digital::RawConversion> PipelineAdc::convert_raw(
     const adc::dsp::Signal& signal, std::size_t n) {
   reset_state();
+  if (config_.fidelity == adc::common::FidelityProfile::kFast) {
+    return convert_raw_fast(signal, n);
+  }
   std::vector<adc::digital::RawConversion> raws;
   raws.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {

@@ -32,6 +32,8 @@
 #include "bias/sc_bias.hpp"
 #include "clocking/clock.hpp"
 #include "clocking/two_phase.hpp"
+#include "common/fidelity.hpp"
+#include "common/noise_plane.hpp"
 #include "common/random.hpp"
 #include "common/units.hpp"
 #include "digital/alignment.hpp"
@@ -107,6 +109,13 @@ struct AdcConfig {
 
   NonIdealities enable;
   std::uint64_t seed = 1;
+
+  /// Which determinism contract the per-sample kernel honors (see
+  /// common/fidelity.hpp). Construction-time Monte-Carlo draws always use
+  /// the exact Rng, so the same (config, seed) fabricates the same die under
+  /// either profile; only the per-sample noise stream and math rounding
+  /// differ. `kExact` keeps the golden-code bit-identity contract.
+  adc::common::FidelityProfile fidelity = adc::common::FidelityProfile::kExact;
 };
 
 /// Latency-annotated result of a streaming conversion.
@@ -201,6 +210,22 @@ class PipelineAdc {
   /// Core quantization of one sampled-and-held voltage.
   [[nodiscard]] adc::digital::RawConversion quantize_sample(double sampled);
 
+  // --- fast-profile machinery (positional determinism; see
+  // common/fidelity.hpp). Each capture bumps `fast_epoch_` and reads its
+  // noise from a freshly generated plane; slot layout in adc.cpp. ---
+  [[nodiscard]] adc::digital::RawConversion quantize_sample_fast(double sampled,
+                                                                 const double* draws);
+  [[nodiscard]] double tracked_sample_fast(const adc::dsp::Signal& signal, std::size_t k,
+                                           const double* draws, double& walk_s) const;
+  [[nodiscard]] double front_end_fast(double v_diff) const;
+  [[nodiscard]] adc::digital::RawConversion quantize_dc_fast(double tracked);
+  [[nodiscard]] std::vector<int> convert_fast(const adc::dsp::Signal& signal, std::size_t n);
+  [[nodiscard]] StreamResult convert_stream_fast(const adc::dsp::Signal& signal,
+                                                 std::size_t n);
+  [[nodiscard]] std::vector<adc::digital::RawConversion> convert_raw_fast(
+      const adc::dsp::Signal& signal, std::size_t n);
+  [[nodiscard]] std::vector<int> convert_samples_fast(std::span<const double> voltages);
+
   AdcConfig config_;
   adc::common::Rng rng_;
   adc::common::Rng noise_rng_;
@@ -229,6 +254,16 @@ class PipelineAdc {
   double master_base_ = 0.0;               ///< ripple-free master bias [A]
   double ripple_sigma_ = 0.0;              ///< 0 disables per-sample ripple
   std::vector<double> leg_currents_;       ///< per-stage bias at master_base_
+
+  // --- fast-profile state ---
+  /// Per-capture noise draws, `(sample, slot)`-indexed; keyed by the
+  /// conversion-noise sub-stream seed so dies stay independent.
+  adc::common::NoisePlane noise_plane_;
+  /// Capture counter = plane stream id. Advances once per capture/DC call
+  /// and is deliberately NOT reset by reset_state(): repeated captures see
+  /// fresh noise, mirroring how the exact profile's sequential stream
+  /// advances across calls.
+  std::uint64_t fast_epoch_ = 0;
 };
 
 }  // namespace adc::pipeline

@@ -30,6 +30,12 @@ class FlashConverter {
   /// the MDACs in silicon.
   [[nodiscard]] adc::digital::FlashCode quantize(double v, double vref);
 
+  /// `fast`-profile quantization: comparator k reads the standard-normal
+  /// deviate `draws[k]` from its noise-plane slot; const because no
+  /// sequential draws are consumed.
+  [[nodiscard]] adc::digital::FlashCode quantize_fast(double v, double vref,
+                                                      const double* draws) const;
+
   /// Noise-free decision at nominal thresholds.
   [[nodiscard]] adc::digital::FlashCode ideal_quantize(double v) const;
 

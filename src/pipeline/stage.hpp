@@ -77,6 +77,39 @@ class PipelineStage {
   [[nodiscard]] StageResult process(double v_in, double vref, double ibias, double settle_s,
                                     double hold_s, adc::common::Rng& noise_rng);
 
+  /// Precompute the fast-profile per-sample constants: the settle
+  /// coefficients at this stage's ripple-free bias current, and the hold
+  /// droop as an affine map of the sampled voltage. The droop model is
+  /// affine in the node voltages, so for a fixed hold window the
+  /// differential droop collapses to d0 + d1*v — two flops instead of the
+  /// two divides of the general expression. PipelineAdc calls this once at
+  /// construction with its phase-generator hold window.
+  void prepare_fast(double ibias_base, double hold_s) {
+    fast_settle_ = opamp_.settle_coeffs(beta_, ibias_base);
+    droop_d0_ = 0.0;
+    droop_d1_ = 0.0;
+    const auto& spec = leakage_.spec();
+    if (spec.i0 > 0.0 && hold_s > 0.0) {
+      const double base = spec.i0 * hold_s / sampling_cap();
+      const double sp = leakage_.scale_p();
+      const double sn = leakage_.scale_n();
+      droop_d0_ = base * (sp - sn);
+      droop_d1_ = base * (0.5 * spec.k_v) * (sp + sn);
+    }
+  }
+
+  /// `fast`-profile processing: identical structure to process(), but noise
+  /// comes from this stage's three noise-plane slots — `draws[0]` thermal,
+  /// `draws[1]` the +V_REF/4 comparator, `draws[2]` the -V_REF/4 comparator
+  /// (a slot is simply unread when redundancy short-circuits the low
+  /// comparator) — the settling exponential uses the polynomial kernel, the
+  /// hold droop is the affine map bound by prepare_fast() (which fixes the
+  /// hold window), and the bias ripple arrives as the analytic rescale
+  /// factors `sqrt_f` and `f` (both 1.0 when ripple is off) applied to the
+  /// settle constants: tau scales by 1/sqrt(f), slew rate by f.
+  [[nodiscard]] StageResult process_fast(double v_in, double vref, double sqrt_f, double f,
+                                         double settle_s, const double* draws);
+
   /// Noise-free ADSC decision at nominal thresholds (for residue plots and
   /// the ideal transfer).
   [[nodiscard]] adc::digital::StageCode ideal_decision(double v_in) const;
@@ -128,6 +161,12 @@ class PipelineStage {
   adc::analog::Comparator cmp_high_;  ///< threshold +V_REF/4
   adc::analog::HoldLeakage leakage_;
   std::optional<adc::digital::StageCode> forced_code_;
+  /// Fast-profile settle constants at the ripple-free bias (prepare_fast).
+  adc::analog::Opamp::SettleCoeffs fast_settle_;
+  /// Fast-profile hold droop, affine in the sampled voltage: d0 + d1*v at
+  /// the hold window bound by prepare_fast().
+  double droop_d0_ = 0.0;
+  double droop_d1_ = 0.0;
 };
 
 }  // namespace adc::pipeline

@@ -49,6 +49,11 @@ std::uint64_t compute_fingerprint() {
   Fnv1a hash;
   update_with_codes(hash, adc::pipeline::nominal_design());
   update_with_codes(hash, adc::pipeline::ideal_design());
+  // Fast-profile leg: a change to the counter RNG, the noise-plane layout or
+  // the polynomial math kernels must also retire every cache entry.
+  adc::pipeline::AdcConfig fast_nominal = adc::pipeline::nominal_design();
+  fast_nominal.fidelity = adc::common::FidelityProfile::kFast;
+  update_with_codes(hash, fast_nominal);
   // Fold in the power model so power-only changes also retire cache entries.
   adc::pipeline::PipelineAdc nominal(adc::pipeline::nominal_design());
   const adc::power::PowerModel model(adc::pipeline::nominal_power_spec());
@@ -78,6 +83,7 @@ json::JsonValue job_document(const ResolvedJob& job) {
   die.set("vdd", job.config.vdd);
   die.set("full_scale_vpp", job.config.full_scale_vpp);
   die.set("stage1_dac_skew", job.config.stage1_dac_skew);
+  die.set("fidelity", std::string(adc::common::to_string(job.config.fidelity)));
 
   auto doc = json::JsonValue::object();
   // Yield jobs are dynamic measurements; sharing the kind lets a yield run

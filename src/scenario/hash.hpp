@@ -9,10 +9,15 @@
 ///   * the scenario schema version, so a semantic change to the schema
 ///     retires every old entry, and
 ///   * the *golden-code fingerprint*: a hash over the output codes of the
-///     nominal and ideal dies for a pinned stimulus plus the nominal power
-///     breakdown. Any change to the converter or power models changes the
+///     nominal and ideal dies for a pinned stimulus — under both fidelity
+///     profiles — plus the nominal power breakdown. Any change to the
+///     converter or power models (exact or fast kernels) changes the
 ///     fingerprint and therefore every cache key — stale physics can never
 ///     be served from cache.
+///
+/// The resolved fidelity profile is part of the job document itself, so
+/// `exact` and `fast` runs of the same experiment address different entries
+/// and a warm run of one profile is never polluted by the other.
 ///
 /// Because hashing happens on the canonical form of the *resolved* job, two
 /// specs that order their keys differently — or reach the same operating
@@ -30,7 +35,8 @@ namespace adc::scenario {
 
 /// Version of the job-document schema. Bump when the resolved-job document
 /// or the payload layout changes meaning.
-inline constexpr std::uint64_t kScenarioSchemaVersion = 1;
+/// v2: the die object carries the fidelity profile.
+inline constexpr std::uint64_t kScenarioSchemaVersion = 2;
 
 /// Incremental FNV-1a 64-bit hasher.
 class Fnv1a {

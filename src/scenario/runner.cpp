@@ -144,6 +144,7 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
   manifest.set_text("spec_hash", identity);
   manifest.set_text("fingerprint", to_hex(golden_code_fingerprint()));
   manifest.set_text("cache_dir", cache.root());
+  manifest.set_text("fidelity", std::string(adc::common::to_string(spec.die.fidelity)));
   manifest.set_count("threads", adc::runtime::effective_thread_count(options_.threads));
   manifest.set_seed_range(spec.first_seed, spec.seed_count);
 
@@ -221,6 +222,7 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
     report.set("spec_hash", identity);
     report.set("fingerprint", to_hex(golden_code_fingerprint()));
     report.set("measurement", std::string(to_string(spec.measurement.type)));
+    report.set("fidelity", std::string(adc::common::to_string(spec.die.fidelity)));
     auto axes = json::JsonValue::array();
     for (const auto& axis : spec.sweep) axes.push_back(axis.key);
     report.set("axes", std::move(axes));

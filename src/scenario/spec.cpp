@@ -119,7 +119,7 @@ void parse_die(const json::JsonValue& die, DieSpec& out) {
   expect_object(die, "die");
   reject_unknown_keys(die, "die",
                       {"seed", "ideal", "conversion_rate_hz", "temperature_k", "vdd",
-                       "full_scale_vpp", "stage1_dac_skew"});
+                       "full_scale_vpp", "stage1_dac_skew", "fidelity"});
   if (const auto* v = die.find("seed")) out.seed = get_uint(*v, "die.seed");
   if (const auto* v = die.find("ideal")) out.ideal = get_bool(*v, "die.ideal");
   if (const auto* v = die.find("conversion_rate_hz")) {
@@ -136,6 +136,16 @@ void parse_die(const json::JsonValue& die, DieSpec& out) {
     out.stage1_dac_skew = get_number(*v, "die.stage1_dac_skew");
     check_value_range("die.stage1_dac_skew", out.stage1_dac_skew);
     out.has_stage1_dac_skew = true;
+  }
+  if (const auto* v = die.find("fidelity")) {
+    const std::string text = get_string(*v, "die.fidelity");
+    if (text == "exact") {
+      out.fidelity = adc::common::FidelityProfile::kExact;
+    } else if (text == "fast") {
+      out.fidelity = adc::common::FidelityProfile::kFast;
+    } else {
+      fail("\"die.fidelity\" must be \"exact\" or \"fast\" (got \"" + text + "\")");
+    }
   }
 }
 
@@ -423,6 +433,7 @@ ResolvedJob resolve_job(const ScenarioSpec& spec, const JobPoint& job) {
   if (spec.die.vdd > 0.0) config.vdd = spec.die.vdd;
   if (spec.die.full_scale_vpp > 0.0) config.full_scale_vpp = spec.die.full_scale_vpp;
   if (spec.die.has_stage1_dac_skew) config.stage1_dac_skew = spec.die.stage1_dac_skew;
+  config.fidelity = spec.die.fidelity;
 
   for (std::size_t a = 0; a < spec.sweep.size(); ++a) {
     const std::string& key = spec.sweep[a].key;

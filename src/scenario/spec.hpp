@@ -20,7 +20,8 @@
 ///     "temperature_k": 300.0,
 ///     "vdd": 1.8,
 ///     "full_scale_vpp": 2.0,
-///     "stage1_dac_skew": 0.0
+///     "stage1_dac_skew": 0.0,
+///     "fidelity": "exact"              // exact | fast (common/fidelity.hpp)
 ///   },
 ///   "stimulus": {
 ///     "type": "tone",                  // tone | two_tone | ramp
@@ -52,6 +53,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/fidelity.hpp"
 #include "common/json.hpp"
 #include "common/units.hpp"
 #include "pipeline/adc.hpp"
@@ -95,6 +97,9 @@ struct DieSpec {
   double full_scale_vpp = -1.0;
   bool has_stage1_dac_skew = false;
   double stage1_dac_skew = 0.0;
+  /// Determinism contract the per-sample kernel runs under. Joins the job
+  /// document, so caches never mix profiles.
+  adc::common::FidelityProfile fidelity = adc::common::FidelityProfile::kExact;
 };
 
 /// One sweep axis: a key path and the grid values it takes.

@@ -48,6 +48,25 @@ TEST(LintPhysics, RngFacadeRuleExemptsTheFacadeItself) {
   EXPECT_EQ(count_rule(lint_file("src/analog/noise.cpp", facade), "rng-facade"), 1u);
 }
 
+TEST(LintPhysics, ProfileMathRuleFiresInModelLayers) {
+  const auto contents = read_fixture("analog/bad_cmath.cpp");
+  // The exp, pow, and log1p(exp(...)) lines each fire once; the lint-ok'd
+  // cached site and the sqrt/abs line stay silent.
+  EXPECT_EQ(count_rule(lint_file("src/analog/bad_cmath.cpp", contents), "profile-math"), 3u);
+  EXPECT_EQ(count_rule(lint_file("src/pipeline/bad_cmath.cpp", contents), "profile-math"), 3u);
+  // Outside the per-sample model layers the same code is fine: dsp and
+  // testbench run per-record, not per-sample, and libm is their contract.
+  EXPECT_EQ(count_rule(lint_file("src/dsp/bad_cmath.cpp", contents), "profile-math"), 0u);
+  EXPECT_EQ(count_rule(lint_file("tests/bad_cmath.cpp", contents), "profile-math"), 0u);
+}
+
+TEST(LintPhysics, ProfileMathRuleAllowlistsExactOnlyFiles) {
+  // The transient solver has no fast variant; direct libm is its contract.
+  const std::string text = "double v = std::tanh(x);\n";
+  EXPECT_EQ(count_rule(lint_file("src/analog/transient.cpp", text), "profile-math"), 0u);
+  EXPECT_EQ(count_rule(lint_file("src/analog/opamp.cpp", text), "profile-math"), 1u);
+}
+
 TEST(LintPhysics, PrintfRuleFiresInSrcOnly) {
   const auto contents = read_fixture("bad_printf.cpp");
   EXPECT_EQ(count_rule(lint_file("src/fixture/bad_printf.cpp", contents), "no-printf"), 1u);

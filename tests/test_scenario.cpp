@@ -302,3 +302,48 @@ TEST_F(ScenarioTest, CacheStatsAndClear) {
   EXPECT_EQ(cache.clear(), 4u);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
+
+/// The fidelity profile is physics as far as the cache is concerned: the
+/// same spec under `fast` must miss every `exact` entry (and vice versa),
+/// while a warm re-run of either profile stays 100% hits. A cache that
+/// cross-pollinated profiles would silently serve one contract's codes as
+/// the other's.
+TEST_F(ScenarioTest, CacheIsolatesFidelityProfiles) {
+  auto with_fidelity = [](const char* profile) {
+    auto doc = json::parse(kSmallSpec);
+    auto die = json::JsonValue::object();
+    die.set("fidelity", profile);
+    doc.set("die", std::move(die));
+    return parse_spec(doc);
+  };
+  const auto exact_spec = with_fidelity("exact");
+  const auto fast_spec = with_fidelity("fast");
+  EXPECT_NE(spec_hash(exact_spec), spec_hash(fast_spec));
+
+  RunOptions options;
+  options.cache_dir = path("cache");
+  ScenarioRunner runner(options);
+
+  const auto fast_cold = runner.run(fast_spec);
+  EXPECT_EQ(fast_cold.cache_hits, 0u);
+  EXPECT_EQ(fast_cold.computed, 4u);
+
+  // The exact run lands in the same cache directory but shares no entries.
+  const auto exact_cold = runner.run(exact_spec);
+  EXPECT_EQ(exact_cold.cache_hits, 0u);
+  EXPECT_EQ(exact_cold.computed, 4u);
+
+  // Warm re-runs of both profiles after the interleaving: all hits, and the
+  // reports are byte-identical to their own cold run — not to each other's.
+  const auto exact_warm = runner.run(exact_spec);
+  EXPECT_EQ(exact_warm.cache_hits, 4u);
+  EXPECT_EQ(exact_warm.computed, 0u);
+  EXPECT_EQ(json::dump(exact_warm.report), json::dump(exact_cold.report));
+
+  const auto fast_warm = runner.run(fast_spec);
+  EXPECT_EQ(fast_warm.cache_hits, 4u);
+  EXPECT_EQ(fast_warm.computed, 0u);
+  EXPECT_EQ(json::dump(fast_warm.report), json::dump(fast_cold.report));
+
+  EXPECT_NE(json::dump(fast_cold.report), json::dump(exact_cold.report));
+}

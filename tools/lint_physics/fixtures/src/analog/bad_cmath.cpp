@@ -1,0 +1,28 @@
+// Known-bad fixture for the profile-math rule: per-sample model code calling
+// <cmath> transcendentals directly instead of the profile-dispatched
+// adc::common::math::*_p kernels. Never compiled; test data only.
+#include <cmath>
+
+namespace fixture {
+
+double settle_tail(double mag, double t_over_tau) {
+  return mag * std::exp(-t_over_tau);  // finding: bypasses exp_p dispatch
+}
+
+double junction_cap(double cj0, double u, double phi, double m) {
+  return cj0 / std::pow(1.0 + u / phi, m);  // finding: bypasses pow_p dispatch
+}
+
+double softplus(double vov, double s) {
+  return s * std::log1p(std::exp(vov / s));  // finding (one per line)
+}
+
+// sqrt and abs are single instructions, not libm table walks: no finding.
+double rms(double a, double b) { return std::sqrt(std::abs(a * b)); }
+
+// The documented escape hatch for construction-time/cached evaluations.
+double cached_recharge(double period, double tau) {
+  return std::exp(-period / tau);  // lint-ok: cached on period change, not per-sample
+}
+
+}  // namespace fixture

@@ -99,6 +99,23 @@ const std::regex& printf_family_re() {
   return re;
 }
 
+// A <cmath> transcendental called directly. sqrt/abs/fma and friends are
+// single instructions and stay allowed; these are the libm calls the fast
+// profile replaces with polynomial kernels.
+const std::regex& cmath_transcendental_re() {
+  static const std::regex re(
+      R"(\bstd\s*::\s*(exp2?|expm1|log|log2|log10|log1p|pow|sin|cos|tan|sincos|sinh|cosh|tanh|asin|acos|atan2?)\s*\()");
+  return re;
+}
+
+// Exact-profile-only files under the model layers: code with no fast-profile
+// variant (the transient solver is exact by definition — it integrates the
+// waveform the fast contract abstracts away), where direct libm *is* the
+// contract.
+bool is_exact_profile_file(const fs::path& path) {
+  return path_contains(path, "analog/transient.");
+}
+
 // A raw SI scale factor (1e-12 and friends) used as an initializer. Exponents
 // ±{3,6,9,12,15} are exactly the prefixes units.hpp provides literals for.
 const std::regex& si_literal_re() {
@@ -125,6 +142,16 @@ void scan_line(const fs::path& path, std::size_t line_no, const std::string& cod
     findings.push_back({file, line_no, "rng-facade",
                         "raw RNG/time seeding; use the seeded adc::common::Rng facade "
                         "(src/common/random.hpp) so results stay reproducible"});
+  }
+  const bool in_model_layer =
+      path_contains(path, "src/analog/") || path_contains(path, "src/pipeline/");
+  if (in_model_layer && !is_exact_profile_file(path) &&
+      std::regex_search(code_line, cmath_transcendental_re())) {
+    findings.push_back({file, line_no, "profile-math",
+                        "direct <cmath> transcendental in a per-sample model layer bypasses "
+                        "the fidelity-profile dispatch; call adc::common::math::*_p "
+                        "(common/fastmath.hpp), or mark construction-time/cached sites "
+                        "lint-ok with the reason"});
   }
   if (in_src && std::regex_search(code_line, printf_family_re())) {
     findings.push_back({file, line_no, "no-printf",

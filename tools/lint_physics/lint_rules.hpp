@@ -9,6 +9,14 @@
 ///                       src/common/random.*; std::rand/std::random_device/
 ///                       time()-seeding anywhere else silently breaks
 ///                       reproducibility of Monte-Carlo results.
+///   profile-math        per-sample code in the model layers (src/analog/,
+///                       src/pipeline/) never calls <cmath> transcendentals
+///                       directly; it routes through the profile-dispatched
+///                       adc::common::math::*_p kernels so the `fast`
+///                       fidelity profile actually takes the polynomial
+///                       path. Exact-profile-only files (the transient
+///                       solver) are allowlisted; construction-time or
+///                       cached evaluations carry a `lint-ok` with a reason.
 ///   no-printf           src/ libraries never printf to stdout/stderr; results
 ///                       are returned, reports go through testbench/report.
 ///   si-literal          config-struct defaults in headers use the units.hpp

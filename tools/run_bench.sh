@@ -7,6 +7,10 @@
 #   BUILD_DIR           build tree to use (default: build)
 #   ADC_RUNTIME_THREADS worker-thread override for the parallel benchmarks
 #   ADC_BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
+#   ADC_BENCH_ALLOW_NONRELEASE=1  run anyway on a non-Release build tree
+#                       (the JSON then carries build_type=<type> in its
+#                       context block so the numbers cannot be mistaken for
+#                       a trajectory point)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,10 +25,30 @@ if [ ! -x "$BIN" ]; then
   cmake --build "$BUILD_DIR" --target perf_simulator -j
 fi
 
+# A Debug (or sanitizer) build tree produces numbers 5-20x off the real
+# trajectory; a committed baseline recorded from one poisons every later
+# comparison. Refuse unless the caller explicitly opts in, and annotate the
+# JSON context when they do.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+EXTRA_ARGS=()
+if [ "${BUILD_TYPE:-}" != "Release" ]; then
+  if [ "${ADC_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]; then
+    echo "run_bench.sh: REFUSING to benchmark a non-Release build tree" >&2
+    echo "  $BUILD_DIR has CMAKE_BUILD_TYPE='${BUILD_TYPE:-<unset>}' (need Release)." >&2
+    echo "  Reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+    echo "  ADC_BENCH_ALLOW_NONRELEASE=1 to record annotated numbers anyway." >&2
+    exit 3
+  fi
+  echo "run_bench.sh: WARNING: benchmarking a '${BUILD_TYPE:-<unset>}' build;" \
+       "numbers are NOT comparable to the Release trajectory" >&2
+  EXTRA_ARGS+=("--benchmark_context=build_type=${BUILD_TYPE:-unset}")
+fi
+
 "$BIN" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_filter="${ADC_BENCH_FILTER:-.*}" \
-  --benchmark_counters_tabular=true
+  --benchmark_counters_tabular=true \
+  ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}
 
 echo "run_bench.sh: wrote $OUT"
