@@ -117,10 +117,12 @@ std::unique_ptr<adc::bias::BiasSource> make_bias(const AdcConfig& c,
     spec.v_bias *=
         bandgap.output(c.temperature_k, c.vdd) / bandgap.spec().nominal_output;
     auto bias_rng = rng.child("sc-bias");
-    return std::make_unique<adc::bias::ScBiasGenerator>(spec, bias_rng);
+    return std::make_unique<adc::bias::ScBiasGenerator>(  // lint-ok: construction-time wiring
+        spec, bias_rng);
   }
   auto bias_rng = rng.child("fixed-bias");
-  return std::make_unique<adc::bias::FixedBiasGenerator>(c.fixed_bias, bias_rng);
+  return std::make_unique<adc::bias::FixedBiasGenerator>(  // lint-ok: construction-time wiring
+      c.fixed_bias, bias_rng);
 }
 
 std::vector<PipelineStage> make_stages(const AdcConfig& c, adc::common::Rng& rng) {
@@ -243,7 +245,7 @@ adc::digital::RawConversion PipelineAdc::quantize_sample(double sampled) {
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const double ibias = rippled ? mirrors_.leg_current(i, master) : leg_currents_[i];
     const auto r = stages_[i].process(x, vref, ibias, settle_s, hold_s, noise_rng_);
-    raw.stage_codes.push_back(r.code);
+    raw.stage_codes.push_back(r.code);  // lint-ok: StageCodeVec is fixed-capacity inline storage
     activity += std::abs(static_cast<double>(adc::digital::value(r.code)));
     x = r.residue;
   }
@@ -277,7 +279,7 @@ adc::digital::RawConversion PipelineAdc::quantize_sample_fast(double sampled,
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const auto r = stages_[i].process_fast(x, vref, sqrt_f, f, settle_s,
                                            draws + kSlotStageBase + kSlotsPerStage * i);
-    raw.stage_codes.push_back(r.code);
+    raw.stage_codes.push_back(r.code);  // lint-ok: StageCodeVec is fixed-capacity inline storage
     activity += std::abs(static_cast<double>(adc::digital::value(r.code)));
     x = r.residue;
   }

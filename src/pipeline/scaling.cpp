@@ -27,10 +27,10 @@ ScalingPolicy ScalingPolicy::geometric(double ratio, double floor) {
   double f = 1.0;
   // Generate until the floor dominates; factor() repeats the last entry.
   while (f > floor) {
-    profile.push_back(f);
+    profile.push_back(f);  // lint-ok: construction-time policy table, runs once per design
     f *= ratio;
   }
-  profile.push_back(floor);
+  profile.push_back(floor);  // lint-ok: construction-time policy table, runs once per design
   return ScalingPolicy(std::move(profile), "geometric");
 }
 

@@ -1,0 +1,41 @@
+// Known-bad fixture for the hot-path-alloc rule: heap traffic inside a
+// per-sample model layer (the path contains src/analog/). Never compiled;
+// scanned by the self-test, which pins the exact finding count.
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+// Growth with no reserve anywhere in scope: a per-sample push would malloc
+// mid-conversion the first time capacity runs out.
+void grow(std::vector<double>& v, double x) {
+  v.push_back(x);  // finding: unreserved growth
+}
+
+double* leak(std::size_t n) {
+  return new double[n];  // finding: raw heap
+}
+
+void* raw(std::size_t n) {
+  return std::malloc(n);  // finding: raw heap
+}
+
+// An allocation hidden behind a macro is still visible to the token stream —
+// the macro body is lexed like any other code.
+#define APPEND_SAMPLE(vec, x) (vec).push_back(x)  // finding: unreserved growth
+
+// The batch fill pattern: one reserve at the batch boundary, then per-sample
+// pushes. This is exactly PR 3's allocation discipline — no finding.
+void batch_fill(std::vector<double>& out, std::size_t n) {
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(i));
+  }
+}
+
+// The documented escape hatch for construction-time table building.
+void build_table(std::vector<double>& table) {
+  table.push_back(1.0);  // lint-ok: construction-time table build, not per-sample
+}
+
+}  // namespace fixture

@@ -14,7 +14,7 @@ double junction_cap(double cj0, double u, double phi, double m) {
 }
 
 double softplus(double vov, double s) {
-  return s * std::log1p(std::exp(vov / s));  // finding (one per line)
+  return s * std::log1p(std::exp(vov / s));  // two findings: log1p and exp
 }
 
 // sqrt and abs are single instructions, not libm table walks: no finding.

@@ -1,0 +1,16 @@
+// Known-bad fixture for the include-layering rule: an analog-layer header
+// reaching *up* the DAG into pipeline. Together with
+// fixtures/src/pipeline/layer_down.hpp (which legally includes this file)
+// it forms a directory-level cycle; the linter reports the upward edge.
+// Never compiled; scanned by the self-test.
+#pragma once
+
+#include "common/units.hpp"   // fine: analog -> common is in the DAG
+#include "pipeline/stage.hpp" // finding: analog may not depend on pipeline
+
+namespace fixture {
+
+// A device model has no business knowing the stage that contains it.
+inline double residue_shortcut(double v) { return 2.0 * v; }
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Known-good fixture: every banned spelling below sits inside a comment,
+// string, or raw string literal, where the token-aware lexer must not see it.
+// The old line-regex scanner desynchronized on raw strings; this file pins
+// the fix. Path places it in src/analog/, the strictest layer. Never compiled.
+
+namespace fixture {
+
+// Prose mentions that would all fire if rules saw comments:
+//   std::rand() printf("x") std::exp(x) v.push_back(x) new double[4]
+//   std::chrono::steady_clock::now() std::unordered_map<int, int>
+/* #include "pipeline/stage.hpp" inside a block comment is not an include */
+
+inline const char* doc() {
+  return R"(raw strings hide nothing from the old scanner:
+    std::rand() seeded with time(nullptr),
+    printf("%d"), malloc(64), codes.push_back(c),
+    std::chrono and std::unordered_map<int, int> — all just prose here,
+    even with a tricky quote " and a )delimiter lookalike)";
+}
+
+inline const char* escaped() { return "std::exp(-t) \"quoted\" new int[2]"; }
+
+inline char marker() { return '"'; }
+
+}  // namespace fixture

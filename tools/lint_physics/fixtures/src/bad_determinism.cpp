@@ -1,0 +1,26 @@
+// Known-bad fixture for the determinism rule: wall-clock reads and unordered
+// containers in a result-producing layer (any src/ path outside src/runtime/).
+// Never compiled; scanned by the self-test, which pins the finding counts.
+#include <chrono>         // finding: chrono in a result-producing layer
+#include <unordered_map>  // finding: unordered container
+
+namespace fixture {
+
+double wall_seconds() {
+  const auto now = std::chrono::steady_clock::now();  // finding: chrono
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+long ticks() {
+  return clock();  // finding: wall-clock read
+}
+
+// Iterating an unordered container and serializing the result would fork the
+// content-addressed cache: the element order is implementation-defined.
+double sum_settings(const std::unordered_map<int, double>& settings) {  // finding
+  double sum = 0.0;
+  for (const auto& [key, value] : settings) sum += value;
+  return sum;
+}
+
+}  // namespace fixture

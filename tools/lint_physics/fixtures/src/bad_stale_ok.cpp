@@ -1,0 +1,12 @@
+// Known-bad fixture for the lint-ok-hygiene rule: suppressions that no longer
+// suppress anything, and a suppression without the mandatory reason. Never
+// compiled; scanned by the self-test.
+namespace fixture {
+
+// No rule fires on this line, so the suppression is rot.
+inline int answer() { return 42; }  // lint-ok: nothing to suppress here
+
+// Reasonless suppressions defeat the greppable-allowlist policy.
+inline double half() { return 0.5; }  // lint-ok
+
+}  // namespace fixture

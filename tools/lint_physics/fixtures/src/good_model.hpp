@@ -32,7 +32,8 @@ class GoodModel {
 };
 
 // Mentioning std::rand in a comment is fine: rules see code, not prose.
-// A suppressed line keeps working too:
-inline unsigned seed_for_interop() { return 42U; }  // lint-ok: fixed interop seed
+// A *live* suppression keeps working too — si-literal fires here and the
+// reasoned lint-ok silences it (a stale lint-ok would itself be a finding):
+inline double vendor_cap_interop = 3e-15;  // lint-ok: mirrors vendor header verbatim
 
 }  // namespace adc::fixture

@@ -1,0 +1,13 @@
+// Companion to fixtures/src/analog/bad_layer_up.hpp: the legal half of the
+// directory cycle. pipeline -> analog is in the DAG, so this file alone is
+// clean; the cycle is broken (and reported) at the upward analog -> pipeline
+// edge in bad_layer_up.hpp. Never compiled; scanned by the self-test.
+#pragma once
+
+#include "analog/bad_layer_up.hpp"  // fine: pipeline -> analog is in the DAG
+
+namespace fixture {
+
+inline double stage_uses_device(double v) { return residue_shortcut(v) * 0.5; }
+
+}  // namespace fixture

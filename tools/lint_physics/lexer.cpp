@@ -1,0 +1,335 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace adc::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// True when masked[i] opens a raw string literal: a '"' directly preceded by
+/// 'R' with an optional u8/u/U/L encoding prefix, where the prefix is not the
+/// tail of a longer identifier (someIdentifierR"..." is not a raw string).
+bool opens_raw_string(const std::string& text, std::size_t i, std::size_t* prefix_start) {
+  if (text[i] != '"' || i == 0 || text[i - 1] != 'R') return false;
+  std::size_t start = i - 1;
+  if (start > 0) {
+    const char p = text[start - 1];
+    if (p == 'u' || p == 'U' || p == 'L') {
+      if (start > 1 && text[start - 2] == 'u' && p == '8') {
+        // "u8R" spelled as ...u, 8?  u8 prefix is 'u' then '8'; handled below.
+      }
+      start -= 1;
+    } else if (p == '8' && start > 1 && text[start - 2] == 'u') {
+      start -= 2;
+    }
+  }
+  if (start > 0 && is_ident_char(text[start - 1])) return false;
+  *prefix_start = start;
+  return true;
+}
+
+/// Parse an include directive from the original text of one line.
+bool parse_include(std::string_view line_text, std::string* path, bool* angled) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line_text.size() && (line_text[i] == ' ' || line_text[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line_text.size() || line_text[i] != '#') return false;
+  ++i;
+  skip_ws();
+  static constexpr std::string_view kInclude = "include";
+  if (line_text.substr(i, kInclude.size()) != kInclude) return false;
+  i += kInclude.size();
+  skip_ws();
+  if (i >= line_text.size()) return false;
+  const char open = line_text[i];
+  const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+  if (close == '\0') return false;
+  const std::size_t end = line_text.find(close, i + 1);
+  if (end == std::string_view::npos) return false;
+  *path = std::string(line_text.substr(i + 1, end - i - 1));
+  *angled = open == '<';
+  return true;
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& text) {
+  LexedFile out;
+
+  // ---- pass 1: mask comments and literal contents, record includes and
+  // comment text (for lint-ok suppressions), preserving line structure.
+  // Comments are kept as per-line *segments*: "value = 1;  ///< doc  // lint-ok: x"
+  // has two segments on one line, and only a segment that *starts* with the
+  // marker is a suppression — prose mentioning lint-ok is not.
+  std::string masked = text;
+  std::vector<std::vector<std::string>> comment_segments(1);
+  std::size_t line = 0;       // 0-based while scanning
+  bool new_segment = false;   // next comment char opens a fresh segment
+  auto comment_append = [&](char c) {
+    if (comment_segments.size() <= line) comment_segments.resize(line + 1);
+    if (new_segment || comment_segments[line].empty()) {
+      comment_segments[line].emplace_back();
+      new_segment = false;
+    }
+    comment_segments[line].back().push_back(c);
+  };
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  bool line_had_code = false;  // any non-whitespace seen in code state this line
+
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    const char c = masked[i];
+    const char next = i + 1 < masked.size() ? masked[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      line_had_code = false;
+      new_segment = true;  // a block comment crossing the newline starts a fresh segment
+      if (state == State::kLineComment || state == State::kString || state == State::kChar) {
+        state = State::kCode;  // tolerate unterminated constructs at EOL
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '#' && !line_had_code) {
+          // Capture the directive from the original text before the path
+          // string gets masked below.
+          const std::size_t eol = text.find('\n', i);
+          const std::string_view dir(text.data() + i,
+                                     (eol == std::string::npos ? text.size() : eol) - i);
+          std::string path;
+          bool angled = false;
+          if (parse_include(dir, &path, &angled)) {
+            out.includes.push_back({path, angled, line + 1});
+          }
+          line_had_code = true;
+          break;
+        }
+        if (c != ' ' && c != '\t') line_had_code = true;
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          new_segment = true;
+          masked[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          new_segment = true;
+          masked[i] = ' ';
+          masked[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          std::size_t prefix_start = 0;
+          if (opens_raw_string(masked, i, &prefix_start)) {
+            // R"delim( ... )delim" — find the matching terminator, then mask
+            // the whole literal down to a plain "" placeholder.
+            const std::size_t paren = masked.find('(', i + 1);
+            std::string delim =
+                paren == std::string::npos ? std::string() : masked.substr(i + 1, paren - i - 1);
+            const std::string terminator = ")" + delim + "\"";
+            std::size_t end = paren == std::string::npos ? std::string::npos
+                                                         : masked.find(terminator, paren + 1);
+            if (end == std::string::npos) end = masked.size();  // unterminated: mask to EOF
+            const std::size_t close =
+                end == masked.size() ? masked.size() - 1 : end + terminator.size() - 1;
+            for (std::size_t k = prefix_start; k <= close && k < masked.size(); ++k) {
+              if (masked[k] == '\n') {
+                ++line;
+              } else {
+                masked[k] = ' ';
+              }
+            }
+            masked[prefix_start] = '"';
+            if (close < masked.size()) masked[close] = '"';
+            i = close;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // A quote directly after an identifier/number character is a digit
+          // separator (1'000'000), not a char literal.
+          if (i > 0 && is_ident_char(masked[i - 1])) break;
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        comment_append(c);
+        masked[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          masked[i] = ' ';
+          masked[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else {
+          comment_append(c);
+          masked[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          masked[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            masked[i + 1] = ' ';
+            ++i;
+          }
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        } else {
+          masked[i] = ' ';
+        }
+        break;
+    }
+  }
+
+  // ---- code lines (masked, line structure preserved).
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= masked.size(); ++i) {
+      if (i == masked.size() || masked[i] == '\n') {
+        out.code_lines.emplace_back(masked, start, i - start);
+        start = i + 1;
+      }
+    }
+  }
+
+  // ---- suppressions: "lint-ok" is a marker only where a comment *starts*
+  // (after doc decoration like '/', '<', '!', '*') or directly after an inner
+  // "//" ("///< doc  // lint-ok: x" is one segment to the lexer). A comment
+  // merely mentioning lint-ok in prose is not a marker, and "lint-ok-hygiene"
+  // (the rule name) is a different word.
+  static constexpr std::string_view kMarker = "lint-ok";
+  constexpr auto is_decoration = [](char c) {
+    return c == '/' || c == '<' || c == '!' || c == '*' || c == ' ' || c == '\t';
+  };
+  for (std::size_t l = 0; l < comment_segments.size(); ++l) {
+    bool line_done = false;
+    for (const std::string& segment : comment_segments[l]) {
+      for (std::size_t at = segment.find(kMarker); at != std::string::npos;
+           at = segment.find(kMarker, at + 1)) {
+        const std::string_view after = std::string_view(segment).substr(at + kMarker.size());
+        if (!after.empty() && (is_ident_char(after.front()) || after.front() == '-')) {
+          continue;  // lint-okay, lint-ok-hygiene, ...: different words
+        }
+        std::size_t p = at;
+        while (p > 0 && (segment[p - 1] == ' ' || segment[p - 1] == '\t')) --p;
+        const bool at_segment_start =
+            p == 0 || [&] {
+              for (std::size_t k = 0; k < p; ++k) {
+                if (!is_decoration(segment[k])) return false;
+              }
+              return true;
+            }();
+        const bool after_inner_comment = p >= 2 && segment.compare(p - 2, 2, "//") == 0;
+        if (!at_segment_start && !after_inner_comment) continue;
+        Suppression s;
+        s.line = l + 1;
+        const std::string trimmed = trim(after);
+        if (!trimmed.empty() && trimmed.front() == ':') {
+          s.reason = trim(std::string_view(trimmed).substr(1));
+          s.has_reason = !s.reason.empty();
+        }
+        out.suppressions.push_back(s);
+        line_done = true;  // one marker per line is enough
+        break;
+      }
+      if (line_done) break;
+    }
+  }
+
+  // ---- pass 2: tokenize the masked text.
+  static constexpr std::array<std::string_view, 21> kTwoCharPunct{
+      "::", "->", "##", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+      "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "++", "--"};
+  std::size_t tok_line = 1;
+  for (std::size_t i = 0; i < masked.size();) {
+    const char c = masked[i];
+    if (c == '\n') {
+      ++tok_line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < masked.size() && is_ident_char(masked[i])) ++i;
+      out.tokens.push_back({TokenKind::kIdentifier, masked.substr(start, i - start), tok_line});
+      continue;
+    }
+    if (is_digit(c) || (c == '.' && i + 1 < masked.size() && is_digit(masked[i + 1]))) {
+      // pp-number: digits, idents, dots, digit separators, and a sign that
+      // directly follows an exponent marker (1.2e-9, 0x1p+3).
+      const std::size_t start = i;
+      ++i;
+      while (i < masked.size()) {
+        const char d = masked[i];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') &&
+                   (masked[i - 1] == 'e' || masked[i - 1] == 'E' || masked[i - 1] == 'p' ||
+                    masked[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokenKind::kNumber, masked.substr(start, i - start), tok_line});
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t end = masked.find('"', i + 1);
+      out.tokens.push_back({TokenKind::kString, "", tok_line});
+      i = end == std::string::npos ? masked.size() : end + 1;
+      continue;
+    }
+    if (c == '\'') {
+      const std::size_t end = masked.find('\'', i + 1);
+      out.tokens.push_back({TokenKind::kChar, "", tok_line});
+      i = end == std::string::npos ? masked.size() : end + 1;
+      continue;
+    }
+    std::string punct(1, c);
+    if (i + 1 < masked.size()) {
+      const std::string two{c, masked[i + 1]};
+      for (const auto candidate : kTwoCharPunct) {
+        if (two == candidate) {
+          punct = two;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({TokenKind::kPunct, punct, tok_line});
+    i += punct.size();
+  }
+
+  return out;
+}
+
+}  // namespace adc::lint

@@ -1,0 +1,67 @@
+/// \file lexer.hpp
+/// Preprocessor-aware token scanner for the lint_physics analyzer.
+///
+/// The original linter ran regexes over comment-stripped lines, which left
+/// two blind spots: raw string literals (R"(...)") desynchronized the
+/// stripper, and rules that need adjacency ("identifier followed by an open
+/// paren", "growth call on an object that was reserved earlier in this
+/// scope") cannot be expressed line-by-line. This lexer produces:
+///
+///   * a token stream (identifiers, pp-numbers, string/char placeholders,
+///     punctuators) with 1-based line numbers, comments and literal
+///     *contents* removed — a banned token inside a comment, string, or raw
+///     string can never reach a rule;
+///   * the file's #include directives (path, quote vs angle form, line);
+///   * comment-stripped code lines for the rules that are genuinely
+///     line-shaped (si-literal context, nodiscard-accessor declarations);
+///   * every `lint-ok` suppression marker found in a *comment* (markers in
+///     string literals are data, not suppressions), with its reason text.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adc::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifier or keyword (rules match on spelling)
+  kNumber,      ///< pp-number: 42, 1.2e9, 0x1p3, 550.0_fF
+  kString,      ///< string literal placeholder (contents dropped)
+  kChar,        ///< char literal placeholder (contents dropped)
+  kPunct,       ///< punctuator; multi-char operators ("::", "->") kept whole
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;      ///< spelling; empty for string/char placeholders
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+};
+
+struct IncludeDirective {
+  std::string path;      ///< text between the delimiters, as written
+  bool angled = false;   ///< true for <...>, false for "..."
+  std::size_t line = 0;  ///< 1-based
+};
+
+/// A `lint-ok` marker found in a comment.
+struct Suppression {
+  std::size_t line = 0;  ///< 1-based line the marker (and its target) sit on
+  std::string reason;    ///< text after "lint-ok:", trimmed; empty if absent
+  bool has_reason = false;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<std::string> code_lines;  ///< comments/literal contents blanked
+  std::vector<Suppression> suppressions;
+};
+
+/// Lex a translation unit. Never fails: malformed input (unterminated
+/// literals, stray bytes) degrades to fewer tokens, not an error — the
+/// compiler is the arbiter of well-formedness, the linter only needs to be
+/// conservative.
+[[nodiscard]] LexedFile lex(const std::string& text);
+
+}  // namespace adc::lint

@@ -1,11 +1,18 @@
 /// lint_physics — domain linter for the simulator tree.
 ///
 /// Usage:
-///   lint_physics <repo_root>          scan src/ tests/ bench/ examples/ tools/
-///   lint_physics --file <path>...     scan specific files (fixture self-test)
+///   lint_physics [options] <repo_root>    scan src/ tests/ bench/ examples/ tools/
+///   lint_physics [options] --file <path>...  scan specific files (fixture self-test)
 ///
-/// Exit code 0 when clean, 1 when any rule fires, 2 on usage errors.
-/// Registered as the `lint_physics` ctest, so a violation fails the suite.
+/// Options:
+///   --format=text|json|sarif   output format (default text)
+///   --output <path>            write the report to a file instead of stdout
+///   --include-graph <path>     tree mode only: write the directory-level
+///                              include graph (lint_physics/include_graph/v1)
+///
+/// Exit code 0 when clean, 1 when any rule fires, 2 on usage/config errors.
+/// Registered as the `lint_physics` ctest, so a violation fails the suite;
+/// the CI lint lane runs --format=sarif and uploads the report artifact.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -13,46 +20,120 @@
 #include <vector>
 
 #include "lint_rules.hpp"
+#include "report.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: lint_physics [--format=text|json|sarif] [--output PATH]\n"
+               "                    [--include-graph PATH] <repo_root>\n"
+               "       lint_physics [--format=...] [--output PATH] --file <path>...\n";
+  return 2;
+}
+
+bool write_out(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "lint_physics: cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  return out.good();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) {
-    std::cerr << "usage: lint_physics <repo_root> | lint_physics --file <path>...\n";
+  std::string format = "text";
+  std::string output;
+  std::string graph_path;
+  bool file_mode = false;
+  std::vector<std::string> inputs;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+    } else if (arg == "--output" && i + 1 < args.size()) {
+      output = args[++i];
+    } else if (arg == "--include-graph" && i + 1 < args.size()) {
+      graph_path = args[++i];
+    } else if (arg == "--file") {
+      file_mode = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lint_physics: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "lint_physics: unknown format '" << format << "'\n";
+    return usage();
+  }
+  if (inputs.empty()) return usage();
+
+  // A mis-declared layer DAG must fail loudly before any file is judged.
+  if (const auto cycle = adc::lint::find_dag_cycle(adc::lint::default_layer_dag());
+      !cycle.empty()) {
+    std::cerr << "lint_physics: declared layer DAG has a cycle:";
+    for (const auto& layer : cycle) std::cerr << " " << layer;
+    std::cerr << "\n";
     return 2;
   }
 
   std::vector<adc::lint::Finding> findings;
-  if (args.front() == "--file") {
-    if (args.size() < 2) {
-      std::cerr << "lint_physics: --file needs at least one path\n";
-      return 2;
-    }
-    for (std::size_t i = 1; i < args.size(); ++i) {
-      std::ifstream in(args[i]);
+  std::string repo_root;
+  if (file_mode) {
+    for (const auto& input : inputs) {
+      std::ifstream in(input);
       if (!in) {
-        std::cerr << "lint_physics: cannot open " << args[i] << "\n";
+        std::cerr << "lint_physics: cannot open " << input << "\n";
         return 2;
       }
       std::ostringstream buf;
       buf << in.rdbuf();
-      const auto file_findings = adc::lint::lint_file(args[i], buf.str());
+      const auto file_findings = adc::lint::lint_file(input, buf.str());
       findings.insert(findings.end(), file_findings.begin(), file_findings.end());
     }
   } else {
+    if (inputs.size() != 1) return usage();
+    repo_root = inputs.front();
     std::size_t files_scanned = 0;
-    findings = adc::lint::lint_tree(args.front(), &files_scanned);
+    adc::lint::IncludeGraph graph;
+    findings = adc::lint::lint_tree(repo_root, &files_scanned,
+                                    graph_path.empty() ? nullptr : &graph);
     if (files_scanned == 0) {
-      std::cerr << "lint_physics: no source files under " << args.front()
+      std::cerr << "lint_physics: no source files under " << repo_root
                 << " (wrong repo root?)\n";
+      return 2;
+    }
+    if (!graph_path.empty() && !write_out(graph_path, adc::lint::to_json(graph) + "\n")) {
       return 2;
     }
   }
 
-  for (const auto& finding : findings) {
-    std::cout << adc::lint::to_string(finding) << "\n";
+  std::string rendered;
+  if (format == "text") {
+    rendered = adc::lint::to_text(findings);
+  } else if (format == "json") {
+    rendered = adc::lint::to_json(findings, repo_root) + "\n";
+  } else {
+    rendered = adc::lint::to_sarif(findings, repo_root) + "\n";
   }
+  if (!write_out(output, rendered)) return 2;
+
   if (!findings.empty()) {
-    std::cout << "lint_physics: " << findings.size() << " finding(s)\n";
+    // Keep the summary out of machine-readable stdout documents.
+    auto& summary = (format == "text" && output.empty()) ? std::cout : std::cerr;
+    summary << "lint_physics: " << findings.size() << " finding(s)\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,125 @@
+#include "report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace adc::lint {
+
+namespace {
+
+/// RFC 8259 string escaping, ASCII-conservative (control chars to \u00XX).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Report paths relative to the repo root so artifacts are machine-portable.
+std::string relativize(const std::string& file, const std::string& repo_root) {
+  if (repo_root.empty()) return file;
+  std::string prefix = repo_root;
+  if (prefix.back() != '/') prefix += '/';
+  if (file.rfind(prefix, 0) == 0) return file.substr(prefix.size());
+  return file;
+}
+
+}  // namespace
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const auto& finding : findings) out << to_string(finding) << "\n";
+  return out.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings, const std::string& repo_root) {
+  std::ostringstream out;
+  out << "{\"schema\":\"lint_physics/findings/v1\",\"count\":" << findings.size()
+      << ",\"findings\":[";
+  bool first = true;
+  for (const auto& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"file\":\"" << json_escape(relativize(f.file, repo_root)) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << json_escape(f.rule) << "\",\"message\":\"" << json_escape(f.message)
+        << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings, const std::string& repo_root) {
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{"
+         "\"tool\":{\"driver\":{\"name\":\"lint_physics\","
+         "\"informationUri\":\"https://example.invalid/docs/STATIC_ANALYSIS.md\","
+         "\"rules\":[";
+  bool first = true;
+  for (const auto& rule : rule_catalog()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << json_escape(std::string(rule.id)) << "\",\"shortDescription\":{"
+        << "\"text\":\"" << json_escape(std::string(rule.summary)) << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  first = true;
+  for (const auto& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ruleId\":\"" << json_escape(f.rule) << "\",\"level\":\"error\","
+        << "\"message\":{\"text\":\"" << json_escape(f.message) << "\"},"
+        << "\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+        << json_escape(relativize(f.file, repo_root)) << "\"},\"region\":{\"startLine\":"
+        << (f.line == 0 ? 1 : f.line) << "}}}]}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+std::string to_json(const IncludeGraph& graph) {
+  std::ostringstream out;
+  out << "{\"schema\":\"lint_physics/include_graph/v1\",\"layers\":{";
+  bool first = true;
+  for (const auto& [layer, deps] : default_layer_dag().deps) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(layer) << "\":[";
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << json_escape(deps[i]) << "\"";
+    }
+    out << "]";
+  }
+  out << "},\"edges\":[";
+  first = true;
+  for (const auto& edge : graph.edges) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"from\":\"" << json_escape(edge.from) << "\",\"to\":\"" << json_escape(edge.to)
+        << "\",\"count\":" << edge.count << ",\"allowed\":" << (edge.allowed ? "true" : "false")
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace adc::lint

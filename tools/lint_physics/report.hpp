@@ -1,0 +1,33 @@
+/// \file report.hpp
+/// Machine-readable output for lint_physics findings.
+///
+/// Three formats share one findings list:
+///   text   the classic "file:line: [rule] message" lines (human / ctest log)
+///   json   lint_physics/findings/v1 — a stable array for scripting
+///   sarif  SARIF 2.1.0 — uploaded as a CI artifact so code-scanning UIs can
+///          render findings at the offending line
+/// plus the directory-level include graph (lint_physics/include_graph/v1)
+/// extracted during a tree scan, which documents the layer DAG as built.
+///
+/// All emitters are deterministic: same findings in, same bytes out. File
+/// paths are reported relative to `repo_root` when they sit under it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+namespace adc::lint {
+
+[[nodiscard]] std::string to_text(const std::vector<Finding>& findings);
+
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings,
+                                  const std::string& repo_root = {});
+
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings,
+                                   const std::string& repo_root = {});
+
+[[nodiscard]] std::string to_json(const IncludeGraph& graph);
+
+}  // namespace adc::lint
