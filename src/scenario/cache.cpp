@@ -47,6 +47,30 @@ std::string ResultCache::default_root() {
   return ".adc-cache";
 }
 
+void ResultCache::ensure_writable() const {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    throw ConfigError("scenario cache root \"" + root_ +
+                      "\" cannot be created: " + ec.message());
+  }
+  if (!fs::is_directory(root_, ec)) {
+    throw ConfigError("scenario cache root \"" + root_ +
+                      "\" is not a directory (set ADC_SCENARIO_CACHE_DIR or "
+                      "--cache-dir to a writable directory)");
+  }
+  const fs::path probe = fs::path(root_) / (".writable" + unique_tmp_suffix());
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw ConfigError("scenario cache root \"" + root_ +
+                        "\" is not writable (set ADC_SCENARIO_CACHE_DIR or "
+                        "--cache-dir to a writable directory)");
+    }
+  }
+  fs::remove(probe, ec);
+}
+
 std::string ResultCache::entry_path(const std::string& hash) const {
   adc::common::require(is_hex_hash(hash),
                        "ResultCache: malformed hash \"" + hash + "\"");
@@ -127,6 +151,21 @@ CacheStats ResultCache::stats() const {
     stats.bytes += it->file_size(ec);
   }
   return stats;
+}
+
+json::JsonValue ResultCache::stats_document() const {
+  const CacheStats disk = stats();
+  auto session = json::JsonValue::object();
+  session.set("hits", hits());
+  session.set("misses", misses());
+  session.set("evictions", evictions());
+  session.set("stores", stores());
+  auto doc = json::JsonValue::object();
+  doc.set("cache_dir", root_);
+  doc.set("entries", disk.entries);
+  doc.set("bytes", disk.bytes);
+  doc.set("session", std::move(session));
+  return doc;
 }
 
 std::uint64_t ResultCache::clear() {

@@ -52,6 +52,14 @@ class ResultCache {
 
   [[nodiscard]] const std::string& root() const { return root_; }
 
+  /// Fail fast on a bad cache root: creates the root directory if needed and
+  /// probe-writes (then removes) a file inside it. Throws ConfigError with a
+  /// single-line diagnostic naming the root and the OS reason when the root
+  /// is not a directory, cannot be created, or is not writable — so an
+  /// unusable ADC_SCENARIO_CACHE_DIR surfaces before any simulation work
+  /// instead of as a raw filesystem exception mid-run.
+  void ensure_writable() const;
+
   /// Fetch the payload stored under `hash`; nullopt on miss. Invalid
   /// entries are evicted and count as a miss.
   [[nodiscard]] std::optional<adc::common::json::JsonValue> load(const std::string& hash);
@@ -61,6 +69,16 @@ class ResultCache {
 
   /// Walk the cache root and summarize the entries on disk.
   [[nodiscard]] CacheStats stats() const;
+
+  /// Machine-readable statistics: on-disk totals plus this instance's
+  /// session counters. The shared shape parsed by the service `status`
+  /// endpoint, `adc_scenario cache stats --format=json`, and CI:
+  ///
+  /// ```json
+  /// {"cache_dir": "...", "entries": 3, "bytes": 1234,
+  ///  "session": {"hits": 0, "misses": 0, "evictions": 0, "stores": 0}}
+  /// ```
+  [[nodiscard]] adc::common::json::JsonValue stats_document() const;
 
   /// Delete every entry; returns how many were removed.
   std::uint64_t clear();

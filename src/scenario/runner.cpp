@@ -121,6 +121,126 @@ void write_text_file(const std::string& path, const std::string& text) {
 
 }  // namespace
 
+ScenarioPlan plan_scenario(const ScenarioSpec& spec) {
+  ScenarioPlan plan;
+  plan.spec_hash = spec_hash(spec);
+  plan.jobs = expand_jobs(spec);
+  plan.hashes.reserve(plan.jobs.size());
+  for (const auto& job : plan.jobs) plan.hashes.push_back(job_hash(resolve_job(spec, job)));
+  return plan;
+}
+
+json::JsonValue build_report(const ScenarioSpec& spec, const ScenarioPlan& plan,
+                             const std::vector<std::optional<json::JsonValue>>& payloads) {
+  adc::common::require(payloads.size() == plan.jobs.size(),
+                       "build_report: payloads not aligned with the plan");
+  auto report = json::JsonValue::object();
+  report.set("scenario", spec.name);
+  if (!spec.description.empty()) report.set("description", spec.description);
+  report.set("schema_version", kScenarioSchemaVersion);
+  report.set("spec_hash", plan.spec_hash);
+  report.set("fingerprint", to_hex(golden_code_fingerprint()));
+  report.set("measurement", std::string(to_string(spec.measurement.type)));
+  report.set("fidelity", std::string(adc::common::to_string(spec.die.fidelity)));
+  auto axes = json::JsonValue::array();
+  for (const auto& axis : spec.sweep) axes.push_back(axis.key);
+  report.set("axes", std::move(axes));
+  report.set("jobs", static_cast<std::uint64_t>(plan.jobs.size()));
+
+  auto results = json::JsonValue::array();
+  for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+    auto row = json::JsonValue::object();
+    row.set("hash", plan.hashes[i]);
+    row.set("seed", plan.jobs[i].seed);
+    auto point = json::JsonValue::object();
+    for (std::size_t a = 0; a < spec.sweep.size(); ++a) {
+      point.set(spec.sweep[a].key, plan.jobs[i].axis_values[a]);
+    }
+    row.set("point", std::move(point));
+    row.set("metrics", payloads[i].has_value() ? *payloads[i] : json::JsonValue());
+    results.push_back(std::move(row));
+  }
+  report.set("results", std::move(results));
+
+  // Yield summary (only once every point is in).
+  bool complete = true;
+  for (const auto& payload : payloads) complete = complete && payload.has_value();
+  if (spec.measurement.type == MeasurementSpec::Type::kYield && complete &&
+      !plan.jobs.empty()) {
+    const std::string& metric = spec.measurement.metric;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t passing = 0;
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+      const auto* value = payloads[i]->find(metric);
+      adc::common::require(value != nullptr && value->is_number(),
+                           "build_report: payload lacks yield metric \"" + metric + "\"");
+      const double x = value->as_double();
+      if (i == 0) {
+        lo = x;
+        hi = x;
+      }
+      sum += x;
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      if (x >= spec.measurement.limit) ++passing;
+    }
+    auto summary = json::JsonValue::object();
+    summary.set("metric", metric);
+    summary.set("limit", spec.measurement.limit);
+    summary.set("mean", sum / static_cast<double>(plan.jobs.size()));
+    summary.set("min", lo);
+    summary.set("max", hi);
+    summary.set("passing", passing);
+    summary.set("yield_fraction",
+                static_cast<double>(passing) / static_cast<double>(plan.jobs.size()));
+    report.set("summary", std::move(summary));
+  }
+  return report;
+}
+
+std::string report_csv(const json::JsonValue& report) {
+  const auto* axes = report.find("axes");
+  const auto* results = report.find("results");
+  adc::common::require(axes != nullptr && axes->is_array() && results != nullptr &&
+                           results->is_array(),
+                       "report_csv: not a scenario report document");
+
+  // Metric columns come from the first computed payload, in insertion order.
+  std::vector<std::string> metric_keys;
+  for (const auto& row : results->items()) {
+    const auto* metrics = row.find("metrics");
+    if (metrics != nullptr && metrics->is_object()) {
+      for (const auto& member : metrics->members()) metric_keys.push_back(member.key);
+      break;
+    }
+  }
+  std::string csv;
+  for (const auto& axis : axes->items()) csv += axis.as_string() + ",";
+  csv += "seed";
+  for (const auto& key : metric_keys) csv += "," + key;
+  csv += "\n";
+  for (const auto& row : results->items()) {
+    const auto* metrics = row.find("metrics");
+    if (metrics == nullptr || metrics->is_null()) continue;
+    const auto* point = row.find("point");
+    for (const auto& axis : axes->items()) {
+      const auto* value = point != nullptr ? point->find(axis.as_string()) : nullptr;
+      adc::common::require(value != nullptr, "report_csv: row lacks axis value");
+      csv += json::format_double(value->as_double()) + ",";
+    }
+    csv += std::to_string(row.find("seed")->as_uint64());
+    for (const auto& key : metric_keys) {
+      const auto* value = metrics->find(key);
+      csv += ",";
+      if (value != nullptr) csv += csv_cell(*value);
+    }
+    csv += "\n";
+  }
+  return csv;
+}
+
 ScenarioRunner::ScenarioRunner(RunOptions options) : options_(std::move(options)) {}
 
 json::JsonValue ScenarioRunner::execute_job(const ResolvedJob& job) {
@@ -139,25 +259,25 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
   RunResult result;
   adc::runtime::RunManifest manifest("scenario_" + spec.name);
   ResultCache cache(options_.cache_dir);
-  const std::string identity = spec_hash(spec);
+  if (options_.use_cache) cache.ensure_writable();
   manifest.set_text("scenario", spec.name);
-  manifest.set_text("spec_hash", identity);
+  manifest.set_text("spec_hash", spec_hash(spec));
   manifest.set_text("fingerprint", to_hex(golden_code_fingerprint()));
   manifest.set_text("cache_dir", cache.root());
   manifest.set_text("fidelity", std::string(adc::common::to_string(spec.die.fidelity)));
   manifest.set_count("threads", adc::runtime::effective_thread_count(options_.threads));
   manifest.set_seed_range(spec.first_seed, spec.seed_count);
 
-  // Expand the sweep grid and content-address every job.
-  std::vector<JobPoint> jobs;
-  std::vector<std::string> hashes;
+  // Expand the sweep grid and content-address every job — through the same
+  // planner entry point the scenario service schedules from.
+  ScenarioPlan plan;
   {
     auto phase = manifest.phase("expand");
-    jobs = expand_jobs(spec);
-    hashes.reserve(jobs.size());
-    for (const auto& job : jobs) hashes.push_back(job_hash(resolve_job(spec, job)));
-    phase.set_jobs(jobs.size());
+    plan = plan_scenario(spec);
+    phase.set_jobs(plan.jobs.size());
   }
+  const std::vector<JobPoint>& jobs = plan.jobs;
+  const std::vector<std::string>& hashes = plan.hashes;
   result.jobs_total = jobs.size();
 
   // Probe the cache: anything already computed (by a previous run, an
@@ -211,73 +331,11 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
   result.computed = misses.size();
   result.cache_evictions = cache.evictions();
 
-  // Build the deterministic report: spec identity + per-job results, no
-  // timings or counters, so repeat/resumed runs emit identical bytes.
+  // Build the deterministic report through the shared builder — the same
+  // bytes a service client receives in its terminal summary event.
   {
     auto phase = manifest.phase("report", jobs.size());
-    auto report = json::JsonValue::object();
-    report.set("scenario", spec.name);
-    if (!spec.description.empty()) report.set("description", spec.description);
-    report.set("schema_version", kScenarioSchemaVersion);
-    report.set("spec_hash", identity);
-    report.set("fingerprint", to_hex(golden_code_fingerprint()));
-    report.set("measurement", std::string(to_string(spec.measurement.type)));
-    report.set("fidelity", std::string(adc::common::to_string(spec.die.fidelity)));
-    auto axes = json::JsonValue::array();
-    for (const auto& axis : spec.sweep) axes.push_back(axis.key);
-    report.set("axes", std::move(axes));
-    report.set("jobs", static_cast<std::uint64_t>(jobs.size()));
-
-    auto results = json::JsonValue::array();
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      auto row = json::JsonValue::object();
-      row.set("hash", hashes[i]);
-      row.set("seed", jobs[i].seed);
-      auto point = json::JsonValue::object();
-      for (std::size_t a = 0; a < spec.sweep.size(); ++a) {
-        point.set(spec.sweep[a].key, jobs[i].axis_values[a]);
-      }
-      row.set("point", std::move(point));
-      row.set("metrics", payloads[i].has_value() ? *payloads[i] : json::JsonValue());
-      results.push_back(std::move(row));
-    }
-    report.set("results", std::move(results));
-
-    // Yield summary (only once every point is in).
-    const bool complete = result.cache_hits + result.computed == result.jobs_total;
-    if (spec.measurement.type == MeasurementSpec::Type::kYield && complete &&
-        !jobs.empty()) {
-      const std::string& metric = spec.measurement.metric;
-      double sum = 0.0;
-      double lo = 0.0;
-      double hi = 0.0;
-      std::uint64_t passing = 0;
-      for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const auto* value = payloads[i]->find(metric);
-        adc::common::require(value != nullptr && value->is_number(),
-                             "ScenarioRunner: payload lacks yield metric \"" + metric + "\"");
-        const double x = value->as_double();
-        if (i == 0) {
-          lo = x;
-          hi = x;
-        }
-        sum += x;
-        lo = std::min(lo, x);
-        hi = std::max(hi, x);
-        if (x >= spec.measurement.limit) ++passing;
-      }
-      auto summary = json::JsonValue::object();
-      summary.set("metric", metric);
-      summary.set("limit", spec.measurement.limit);
-      summary.set("mean", sum / static_cast<double>(jobs.size()));
-      summary.set("min", lo);
-      summary.set("max", hi);
-      summary.set("passing", passing);
-      summary.set("yield_fraction",
-                  static_cast<double>(passing) / static_cast<double>(jobs.size()));
-      report.set("summary", std::move(summary));
-    }
-    result.report = std::move(report);
+    result.report = build_report(spec, plan, payloads);
 
     if (!options_.report_dir.empty()) {
       std::error_code ec;
@@ -285,35 +343,8 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
       adc::common::require(!ec, "ScenarioRunner: cannot create " + options_.report_dir);
       result.report_json_path = options_.report_dir + "/" + spec.name + "_report.json";
       write_text_file(result.report_json_path, json::dump(result.report));
-
-      // CSV: axis columns, seed, then the metric columns of the payload.
-      std::string csv;
-      std::vector<std::string> metric_keys;
-      for (const auto& payload : payloads) {
-        if (payload.has_value()) {
-          for (const auto& member : payload->members()) metric_keys.push_back(member.key);
-          break;
-        }
-      }
-      for (const auto& axis : spec.sweep) csv += axis.key + ",";
-      csv += "seed";
-      for (const auto& key : metric_keys) csv += "," + key;
-      csv += "\n";
-      for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (!payloads[i].has_value()) continue;
-        for (const double value : jobs[i].axis_values) {
-          csv += json::format_double(value) + ",";
-        }
-        csv += std::to_string(jobs[i].seed);
-        for (const auto& key : metric_keys) {
-          const auto* value = payloads[i]->find(key);
-          csv += ",";
-          if (value != nullptr) csv += csv_cell(*value);
-        }
-        csv += "\n";
-      }
       result.report_csv_path = options_.report_dir + "/" + spec.name + "_report.csv";
-      write_text_file(result.report_csv_path, csv);
+      write_text_file(result.report_csv_path, report_csv(result.report));
     }
   }
 

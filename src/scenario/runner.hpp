@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "runtime/thread_pool.hpp"
@@ -71,6 +72,38 @@ struct RunResult {
   std::uint64_t cache_evictions = 0;
 };
 
+/// One scenario expanded to its executable shape: the grid points, one
+/// content-address per point, and the spec identity. This is the single
+/// planner entry point shared by batch execution (ScenarioRunner::run) and
+/// the scenario service (src/service/): both plan through here, so a job
+/// scheduled by the daemon is content-addressed exactly as the CLI would
+/// address it and the two share every cache entry.
+struct ScenarioPlan {
+  std::vector<JobPoint> jobs;
+  /// job_hash(resolve_job(spec, jobs[i])), aligned with `jobs`.
+  std::vector<std::string> hashes;
+  /// spec_hash(spec) — the request-level identity.
+  std::string spec_hash;
+};
+
+/// Expand the sweep grid and content-address every job. Throws ConfigError
+/// on invalid specs (the same validation surface as expand_jobs).
+[[nodiscard]] ScenarioPlan plan_scenario(const ScenarioSpec& spec);
+
+/// Build the deterministic report document from a plan and its payloads
+/// (index-aligned; nullopt = not computed, reported as null metrics). No
+/// timings or counters, so any two complete executions of the same spec —
+/// cold, warm, resumed, batch or served — emit byte-identical reports.
+[[nodiscard]] adc::common::json::JsonValue build_report(
+    const ScenarioSpec& spec, const ScenarioPlan& plan,
+    const std::vector<std::optional<adc::common::json::JsonValue>>& payloads);
+
+/// Render the CSV form of a report document (axis columns, seed, then the
+/// metric columns of the first computed payload; rows with null metrics are
+/// skipped). Derives everything from the report itself so remote clients
+/// reproduce the batch CLI's CSV byte-for-byte.
+[[nodiscard]] std::string report_csv(const adc::common::json::JsonValue& report);
+
 /// Expands, executes and reports scenarios. Stateless between runs apart
 /// from the on-disk cache.
 class ScenarioRunner {
@@ -82,7 +115,7 @@ class ScenarioRunner {
   [[nodiscard]] RunResult run(const ScenarioSpec& spec);
 
   /// Execute one resolved job immediately (no cache); the payload that
-  /// would be stored. Exposed for tests and the CLI.
+  /// would be stored. Exposed for tests, the CLI, and the service executor.
   [[nodiscard]] static adc::common::json::JsonValue execute_job(const ResolvedJob& job);
 
  private:

@@ -1,0 +1,164 @@
+#include "service/protocol.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace adc::service {
+
+namespace json = adc::common::json;
+using adc::common::ConfigError;
+
+Request parse_request(const std::string& line) {
+  json::JsonValue doc;
+  try {
+    doc = json::parse(line);
+  } catch (const ConfigError& e) {
+    throw ConfigError(std::string("request is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw ConfigError("request must be a JSON object");
+  const auto* type = doc.find("type");
+  if (type == nullptr || !type->is_string()) {
+    throw ConfigError("request lacks a string \"type\"");
+  }
+
+  Request request;
+  const std::string& kind = type->as_string();
+  if (kind == "run") {
+    request.type = Request::Type::kRun;
+  } else if (kind == "cancel") {
+    request.type = Request::Type::kCancel;
+  } else if (kind == "status") {
+    request.type = Request::Type::kStatus;
+  } else if (kind == "shutdown") {
+    request.type = Request::Type::kShutdown;
+  } else {
+    throw ConfigError("unknown request type \"" + kind + "\"");
+  }
+
+  if (const auto* id = doc.find("id")) {
+    if (!id->is_string()) throw ConfigError("request \"id\" must be a string");
+    request.id = id->as_string();
+  }
+  if (request.type == Request::Type::kRun || request.type == Request::Type::kCancel) {
+    if (request.id.empty()) {
+      throw ConfigError("\"" + kind + "\" request requires a non-empty \"id\"");
+    }
+  }
+
+  if (request.type == Request::Type::kRun) {
+    const auto* spec = doc.find("spec");
+    if (spec == nullptr || !spec->is_object()) {
+      throw ConfigError("\"run\" request requires an object \"spec\"");
+    }
+    request.spec = *spec;
+    if (const auto* options = doc.find("options")) {
+      if (!options->is_object()) throw ConfigError("request \"options\" must be an object");
+      for (const auto& member : options->members()) {
+        if (member.key == "max_jobs") {
+          if (!member.value.is_integer()) {
+            throw ConfigError("option \"max_jobs\" must be an integer");
+          }
+          request.max_jobs = member.value.as_uint64();
+        } else {
+          throw ConfigError("unknown option \"" + member.key + "\"");
+        }
+      }
+    }
+  }
+  return request;
+}
+
+const char* to_string(CellOrigin origin) {
+  switch (origin) {
+    case CellOrigin::kHit: return "hit";
+    case CellOrigin::kMiss: return "miss";
+    case CellOrigin::kDedup: return "dedup";
+  }
+  return "unknown";
+}
+
+namespace {
+
+json::JsonValue make_event(const char* name) {
+  auto event = json::JsonValue::object();
+  event.set("event", name);
+  return event;
+}
+
+}  // namespace
+
+json::JsonValue hello_event(const std::string& fingerprint) {
+  auto event = make_event("hello");
+  event.set("protocol", kProtocolVersion);
+  event.set("server", "adc_scenariod");
+  event.set("fingerprint", fingerprint);
+  return event;
+}
+
+json::JsonValue accepted_event(const std::string& id, const std::string& scenario,
+                               const std::string& spec_hash, std::uint64_t jobs) {
+  auto event = make_event("accepted");
+  event.set("id", id);
+  event.set("scenario", scenario);
+  event.set("spec_hash", spec_hash);
+  event.set("jobs", jobs);
+  return event;
+}
+
+json::JsonValue cell_event(const std::string& id, std::uint64_t index,
+                           const std::string& hash, CellOrigin origin,
+                           json::JsonValue metrics) {
+  auto event = make_event("cell");
+  event.set("id", id);
+  event.set("index", index);
+  event.set("hash", hash);
+  event.set("origin", to_string(origin));
+  event.set("metrics", std::move(metrics));
+  return event;
+}
+
+json::JsonValue summary_event(const std::string& id, std::uint64_t jobs,
+                              std::uint64_t cache_hits, std::uint64_t deduped,
+                              std::uint64_t computed, std::uint64_t skipped,
+                              json::JsonValue report) {
+  auto event = make_event("summary");
+  event.set("id", id);
+  event.set("jobs", jobs);
+  event.set("cache_hits", cache_hits);
+  event.set("deduped", deduped);
+  event.set("computed", computed);
+  event.set("skipped", skipped);
+  event.set("report", std::move(report));
+  return event;
+}
+
+json::JsonValue cancelled_event(const std::string& id, std::uint64_t delivered) {
+  auto event = make_event("cancelled");
+  event.set("id", id);
+  event.set("delivered", delivered);
+  return event;
+}
+
+json::JsonValue error_event(const std::string& id, const std::string& code,
+                            const std::string& message) {
+  auto event = make_event("error");
+  if (!id.empty()) event.set("id", id);
+  event.set("code", code);
+  event.set("message", message);
+  return event;
+}
+
+json::JsonValue bye_event() { return make_event("bye"); }
+
+std::string encode_event(const json::JsonValue& event) {
+  return json::dump_compact(event);
+}
+
+std::string event_type(const json::JsonValue& event) {
+  if (!event.is_object()) return {};
+  const auto* type = event.find("event");
+  return type != nullptr && type->is_string() ? type->as_string() : std::string();
+}
+
+}  // namespace adc::service

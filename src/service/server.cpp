@@ -1,0 +1,619 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/parallel.hpp"
+#include "scenario/hash.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace adc::service {
+
+namespace json = adc::common::json;
+using adc::common::AdcError;
+using adc::common::ConfigError;
+
+/// Poll granularity of the accept/read loops: how quickly a stop flag is
+/// observed, not a correctness knob.
+constexpr int kPollMs = 200;
+
+struct ScenarioService::Connection {
+  std::uint64_t id = 0;
+  UnixStream stream;
+  std::mutex write_mutex;
+  /// False once the peer is gone (EOF or failed write). Guarded by the
+  /// service mutex_ for state decisions; writes themselves are safe either
+  /// way (a dead socket just fails).
+  bool open = true;
+  std::size_t inflight = 0;         ///< computing cells owned by this tenant
+  std::size_t active_requests = 0;  ///< admitted run requests
+  std::thread reader;
+};
+
+struct ScenarioService::RunState {
+  std::shared_ptr<Connection> conn;
+  std::string id;         ///< client correlation id
+  std::uint64_t seq = 0;  ///< service-wide sequence (manifest naming)
+  adc::scenario::ScenarioSpec spec;
+  adc::scenario::ScenarioPlan plan;
+  adc::runtime::CancellationToken cancel;
+  std::vector<std::optional<json::JsonValue>> payloads;
+
+  std::size_t next_job = 0;          ///< scheduler cursor into plan.jobs
+  std::size_t scheduled_misses = 0;  ///< misses dispatched (max_jobs budget)
+  std::uint64_t max_jobs = 0;        ///< 0 = unlimited
+  std::size_t inflight = 0;          ///< own pool jobs still running
+  std::size_t subscriptions = 0;     ///< dedup deliveries still pending
+
+  std::uint64_t processed = 0;  ///< hits + computed + deduped + skipped
+  std::uint64_t delivered = 0;  ///< cells streamed (payload recorded)
+  std::uint64_t hits = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t skipped = 0;
+
+  bool cancel_requested = false;  ///< explicit cancel (gets a terminal event)
+  bool failed = false;            ///< terminal error event already sent
+  bool finished = false;          ///< removed from scheduling
+};
+
+/// One in-flight computation; subscribers[0] is the owner that pays for it.
+struct ScenarioService::Inflight {
+  std::vector<std::pair<std::shared_ptr<RunState>, std::size_t>> subscribers;
+};
+
+ScenarioService::ScenarioService(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.cache_dir) {
+  adc::common::require(!options_.socket_path.empty(),
+                       "ScenarioService: socket_path is required");
+  adc::common::require(options_.max_inflight_per_connection > 0 &&
+                           options_.max_requests_per_connection > 0,
+                       "ScenarioService: admission bounds must be positive");
+}
+
+ScenarioService::~ScenarioService() { stop(); }
+
+void ScenarioService::start() {
+  adc::common::require(!started_, "ScenarioService: already started");
+  cache_.ensure_writable();
+  listener_ = std::make_unique<UnixListener>(options_.socket_path);
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  scheduler_thread_ = std::thread([this] { scheduler_loop(); });
+  started_ = true;
+}
+
+void ScenarioService::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Disconnect every client: shutdown wakes blocked readers with EOF.
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections = connections_;
+  }
+  for (const auto& conn : connections) conn->stream.shutdown_both();
+  for (const auto& conn : connections) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& run : active_) run->cancel.cancel();
+  }
+  work_cv_.notify_all();
+  if (scheduler_thread_.joinable()) scheduler_thread_.join();
+
+  // Drain pool jobs still carrying references into this object.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drain_cv_.wait(lock, [this] { return pending_pool_jobs_ == 0; });
+    active_.clear();
+    inflight_.clear();
+    connections_.clear();
+  }
+  listener_.reset();
+  started_ = false;
+}
+
+ServiceCounters ScenarioService::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+
+void ScenarioService::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto stream = listener_->accept(kPollMs);
+
+    // Reap readers that finished on their own (client hung up).
+    std::vector<std::shared_ptr<Connection>> dead;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if (!(*it)->open && (*it)->active_requests == 0 && (*it)->inflight == 0) {
+          dead.push_back(*it);
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const auto& conn : dead) {
+      if (conn->reader.joinable()) conn->reader.join();
+    }
+
+    if (!stream.has_value()) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->stream = std::move(*stream);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      conn->id = next_connection_id_++;
+      connections_.push_back(conn);
+      ++counters_.connections_accepted;
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+void ScenarioService::reader_loop(const std::shared_ptr<Connection>& conn) {
+  send_line(conn, encode_event(hello_event(
+                      adc::scenario::to_hex(adc::scenario::golden_code_fingerprint()))));
+  std::string line;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const auto status = conn->stream.read_line(line, kPollMs);
+    if (status == UnixStream::ReadStatus::kTimeout) continue;
+    if (status == UnixStream::ReadStatus::kClosed) break;
+    handle_line(conn, line);
+  }
+  on_disconnect(conn);
+}
+
+void ScenarioService::handle_line(const std::shared_ptr<Connection>& conn,
+                                  const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ConfigError& e) {
+    send_line(conn, encode_event(error_event("", error_code::kBadRequest, e.what())));
+    return;
+  }
+  switch (request.type) {
+    case Request::Type::kRun: handle_run(conn, std::move(request)); break;
+    case Request::Type::kCancel: handle_cancel(conn, request); break;
+    case Request::Type::kStatus: handle_status(conn); break;
+    case Request::Type::kShutdown: handle_shutdown(conn); break;
+  }
+}
+
+void ScenarioService::handle_run(const std::shared_ptr<Connection>& conn,
+                                 Request request) {
+  if (shutdown_requested_.load(std::memory_order_relaxed) ||
+      stopping_.load(std::memory_order_relaxed)) {
+    send_line(conn, encode_event(error_event(request.id, error_code::kShuttingDown,
+                                             "service is shutting down")));
+    return;
+  }
+
+  auto run = std::make_shared<RunState>();
+  run->conn = conn;
+  run->id = request.id;
+  run->max_jobs = request.max_jobs;
+  try {
+    run->spec = adc::scenario::parse_spec(request.spec);
+    run->plan = adc::scenario::plan_scenario(run->spec);
+  } catch (const AdcError& e) {
+    send_line(conn, encode_event(
+                        error_event(request.id, error_code::kInvalidSpec, e.what())));
+    return;
+  }
+  run->payloads.resize(run->plan.jobs.size());
+
+  std::string rejection;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool duplicate =
+        std::any_of(active_.begin(), active_.end(), [&](const auto& other) {
+          return other->conn == conn && other->id == request.id;
+        });
+    if (duplicate) {
+      rejection = encode_event(error_event(
+          request.id, error_code::kDuplicateId,
+          "request id \"" + request.id + "\" is already active on this connection"));
+    } else if (conn->active_requests >= options_.max_requests_per_connection) {
+      rejection = encode_event(error_event(
+          request.id, error_code::kAdmission,
+          "connection already has " + std::to_string(conn->active_requests) +
+              " active requests (limit " +
+              std::to_string(options_.max_requests_per_connection) + ")"));
+    } else {
+      run->seq = next_run_seq_++;
+      ++conn->active_requests;
+      ++counters_.requests_accepted;
+      active_.push_back(run);
+    }
+  }
+  if (!rejection.empty()) {
+    send_line(conn, rejection);
+    return;
+  }
+  send_line(conn, encode_event(accepted_event(run->id, run->spec.name,
+                                              run->plan.spec_hash,
+                                              run->plan.jobs.size())));
+  // An empty sweep (cannot happen today — expand_jobs yields >= 1 job) would
+  // finalize on its first scheduler visit; no special case needed here.
+  work_cv_.notify_all();
+}
+
+void ScenarioService::handle_cancel(const std::shared_ptr<Connection>& conn,
+                                    const Request& request) {
+  Outbox outbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::find_if(active_.begin(), active_.end(), [&](const auto& run) {
+      return run->conn == conn && run->id == request.id;
+    });
+    if (it == active_.end()) {
+      outbox.emplace_back(conn, encode_event(error_event(
+                                    request.id, error_code::kUnknownRequest,
+                                    "no active request \"" + request.id + "\"")));
+    } else {
+      (*it)->cancel_requested = true;
+      (*it)->cancel.cancel();
+      maybe_finalize_locked(*it, outbox);
+    }
+  }
+  flush(outbox);
+  work_cv_.notify_all();
+}
+
+void ScenarioService::handle_status(const std::shared_ptr<Connection>& conn) {
+  auto requests = json::JsonValue::array();
+  ServiceCounters counters;
+  std::size_t inflight_entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& run : active_) {
+      auto row = json::JsonValue::object();
+      row.set("id", run->id);
+      row.set("connection", run->conn->id);
+      row.set("scenario", run->spec.name);
+      row.set("jobs", static_cast<std::uint64_t>(run->plan.jobs.size()));
+      row.set("delivered", run->delivered);
+      row.set("inflight", static_cast<std::uint64_t>(run->inflight));
+      row.set("cancelled", run->cancel.cancelled());
+      requests.push_back(std::move(row));
+    }
+    counters = counters_;
+    inflight_entries = inflight_.size();
+  }
+
+  auto totals = json::JsonValue::object();
+  totals.set("connections_accepted", counters.connections_accepted);
+  totals.set("requests_accepted", counters.requests_accepted);
+  totals.set("requests_completed", counters.requests_completed);
+  totals.set("requests_cancelled", counters.requests_cancelled);
+  totals.set("requests_failed", counters.requests_failed);
+  totals.set("cells_hit", counters.cells_hit);
+  totals.set("cells_deduped", counters.cells_deduped);
+  totals.set("cells_computed", counters.cells_computed);
+
+  const auto pool_counters = adc::runtime::global_pool().counters();
+  auto pool = json::JsonValue::object();
+  pool.set("threads",
+           static_cast<std::uint64_t>(adc::runtime::global_pool().thread_count()));
+  pool.set("submitted", pool_counters.submitted);
+  pool.set("executed", pool_counters.executed);
+  pool.set("stolen", pool_counters.stolen);
+  pool.set("failed", pool_counters.failed);
+
+  auto event = json::JsonValue::object();
+  event.set("event", "status");
+  event.set("protocol", kProtocolVersion);
+  event.set("requests", std::move(requests));
+  event.set("inflight_cells", static_cast<std::uint64_t>(inflight_entries));
+  event.set("counters", std::move(totals));
+  event.set("pool", std::move(pool));
+  // Disk walk outside the service lock; session counters are atomics.
+  event.set("cache", cache_.stats_document());
+  send_line(conn, encode_event(event));
+}
+
+void ScenarioService::handle_shutdown(const std::shared_ptr<Connection>& conn) {
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  send_line(conn, encode_event(bye_event()));
+}
+
+void ScenarioService::on_disconnect(const std::shared_ptr<Connection>& conn) {
+  Outbox outbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn->open = false;
+    for (const auto& run : active_) {
+      if (run->conn != conn) continue;
+      run->cancel.cancel();
+      maybe_finalize_locked(run, outbox);
+    }
+  }
+  flush(outbox);  // writes to the dead peer are dropped in send_line
+  work_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+
+void ScenarioService::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::shared_ptr<RunState> run;
+    std::size_t index = 0;
+    if (!pick_next_locked(run, index)) {
+      work_cv_.wait_for(lock, std::chrono::milliseconds(kPollMs));
+      continue;
+    }
+    lock.unlock();
+    dispatch_cell(run, index);
+    lock.lock();
+  }
+}
+
+bool ScenarioService::pick_next_locked(std::shared_ptr<RunState>& run,
+                                       std::size_t& index) {
+  const std::size_t n = active_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t at = (rr_cursor_ + k) % n;
+    const auto& candidate = active_[at];
+    if (candidate->finished || candidate->cancel.cancelled()) continue;
+    if (candidate->next_job >= candidate->plan.jobs.size()) continue;
+    if (candidate->conn->inflight >= options_.max_inflight_per_connection) continue;
+    run = candidate;
+    index = candidate->next_job++;
+    rr_cursor_ = (at + 1) % n;  // fairness: the next turn goes to the next tenant
+    return true;
+  }
+  return false;
+}
+
+void ScenarioService::dispatch_cell(const std::shared_ptr<RunState>& run,
+                                    std::size_t index) {
+  const std::string& hash = run->plan.hashes[index];
+
+  // Phase 1 — join or claim the single-flight slot for this content hash.
+  enum class Action { kNone, kProbeOwned, kProbeBudgetExhausted };
+  Action action = Action::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (run->finished || run->cancel.cancelled()) return;
+    const auto existing = inflight_.find(hash);
+    if (existing != inflight_.end()) {
+      // Someone is already computing (or probing) this exact cell: subscribe.
+      existing->second->subscribers.emplace_back(run, index);
+      ++run->subscriptions;
+      return;
+    }
+    if (run->max_jobs != 0 && run->scheduled_misses >= run->max_jobs) {
+      action = Action::kProbeBudgetExhausted;  // hits still served, misses skipped
+    } else {
+      auto entry = std::make_shared<Inflight>();
+      entry->subscribers.emplace_back(run, index);
+      inflight_[hash] = entry;
+      action = Action::kProbeOwned;
+    }
+  }
+
+  // Phase 2 — probe the shared warm tier (disk I/O, no lock held).
+  auto payload = cache_.load(hash);
+
+  // Phase 3 — deliver the hit, skip, or submit the computation.
+  Outbox outbox;
+  bool submit = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (action == Action::kProbeBudgetExhausted) {
+      if (payload.has_value()) {
+        record_payload_locked(run, index, *payload, CellOrigin::kHit, outbox);
+      } else {
+        ++run->skipped;
+        ++run->processed;
+        maybe_finalize_locked(run, outbox);
+      }
+    } else if (payload.has_value()) {
+      // Deliver to the owner and to everyone who subscribed while probing.
+      const auto entry = inflight_.find(hash)->second;
+      inflight_.erase(hash);
+      for (const auto& [subscriber, at] : entry->subscribers) {
+        if (subscriber != run) --subscriber->subscriptions;
+        record_payload_locked(subscriber, at, *payload, CellOrigin::kHit, outbox);
+      }
+    } else {
+      ++run->scheduled_misses;
+      ++run->inflight;
+      ++run->conn->inflight;
+      ++pending_pool_jobs_;
+      submit = true;
+    }
+  }
+  flush(outbox);
+  if (submit) {
+    adc::runtime::global_pool().submit(
+        [this, run, index, hash] { execute_cell(run, index, hash); });
+  }
+}
+
+void ScenarioService::execute_cell(const std::shared_ptr<RunState>& run,
+                                   std::size_t index, const std::string& hash) {
+  json::JsonValue payload;
+  std::string failure;
+  try {
+    payload = adc::scenario::ScenarioRunner::execute_job(
+        adc::scenario::resolve_job(run->spec, run->plan.jobs[index]));
+    // Persist before delivery — a cancelled or crashed request leaves its
+    // finished cells behind for bit-identical resume.
+    cache_.store(hash, payload);
+  } catch (const std::exception& e) {
+    failure = e.what();
+    if (failure.empty()) failure = "unknown execution failure";
+  }
+
+  Outbox outbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto entry = inflight_.find(hash)->second;
+    inflight_.erase(hash);
+    for (const auto& [subscriber, at] : entry->subscribers) {
+      const bool owner = subscriber == run && at == index;
+      if (owner) {
+        --run->inflight;
+        --run->conn->inflight;
+      } else {
+        --subscriber->subscriptions;
+      }
+      if (!failure.empty()) {
+        fail_request_locked(subscriber, failure, outbox);
+      } else {
+        record_payload_locked(subscriber, at, payload,
+                              owner ? CellOrigin::kMiss : CellOrigin::kDedup, outbox);
+      }
+    }
+    --pending_pool_jobs_;
+  }
+  flush(outbox);
+  drain_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
+void ScenarioService::record_payload_locked(const std::shared_ptr<RunState>& run,
+                                            std::size_t index,
+                                            const json::JsonValue& payload,
+                                            CellOrigin origin, Outbox& outbox) {
+  if (run->finished) return;
+  run->payloads[index] = payload;
+  ++run->processed;
+  ++run->delivered;
+  switch (origin) {
+    case CellOrigin::kHit:
+      ++run->hits;
+      ++counters_.cells_hit;
+      break;
+    case CellOrigin::kMiss:
+      ++run->computed;
+      ++counters_.cells_computed;
+      break;
+    case CellOrigin::kDedup:
+      ++run->deduped;
+      ++counters_.cells_deduped;
+      break;
+  }
+  if (run->conn->open && !run->cancel.cancelled()) {
+    outbox.emplace_back(run->conn,
+                        encode_event(cell_event(run->id, index,
+                                                run->plan.hashes[index], origin,
+                                                payload)));
+  }
+  maybe_finalize_locked(run, outbox);
+}
+
+void ScenarioService::maybe_finalize_locked(const std::shared_ptr<RunState>& run,
+                                            Outbox& outbox) {
+  if (run->finished) return;
+  const bool drained = run->inflight == 0 && run->subscriptions == 0;
+  if (!drained) return;
+
+  const bool cancelled = run->cancel.cancelled();
+  const bool complete = run->processed == run->plan.jobs.size();
+  if (!cancelled && !complete) return;
+
+  if (!cancelled && complete) {
+    auto report =
+        adc::scenario::build_report(run->spec, run->plan, run->payloads);
+    if (run->conn->open) {
+      outbox.emplace_back(
+          run->conn,
+          encode_event(summary_event(run->id, run->plan.jobs.size(), run->hits,
+                                     run->deduped, run->computed, run->skipped,
+                                     std::move(report))));
+    }
+    ++counters_.requests_completed;
+
+    // Per-request provenance, opt-in via ADC_RUNTIME_MANIFEST_DIR.
+    adc::runtime::RunManifest manifest("service_" + run->spec.name + "_" +
+                                       std::to_string(run->seq));
+    manifest.set_text("scenario", run->spec.name);
+    manifest.set_text("spec_hash", run->plan.spec_hash);
+    manifest.set_text("cache_dir", cache_.root());
+    manifest.set_count("connection", run->conn->id);
+    manifest.set_count("jobs_total", run->plan.jobs.size());
+    manifest.set_count("cache_hits", run->hits);
+    manifest.set_count("deduped", run->deduped);
+    manifest.set_count("computed", run->computed);
+    manifest.set_count("skipped", run->skipped);
+    manifest.set_pool_telemetry(adc::runtime::global_pool().counters(),
+                                adc::runtime::global_pool().latency_histogram());
+    (void)manifest.write_to_env_dir();
+  } else if (run->cancel_requested && !run->failed) {
+    if (run->conn->open) {
+      outbox.emplace_back(run->conn,
+                          encode_event(cancelled_event(run->id, run->delivered)));
+    }
+    ++counters_.requests_cancelled;
+  } else if (!run->failed) {
+    // Disconnect-driven cancellation: nobody left to notify.
+    ++counters_.requests_cancelled;
+  }
+
+  run->finished = true;
+  if (run->conn->active_requests > 0) --run->conn->active_requests;
+  active_.erase(std::remove(active_.begin(), active_.end(), run), active_.end());
+}
+
+void ScenarioService::fail_request_locked(const std::shared_ptr<RunState>& run,
+                                          const std::string& message,
+                                          Outbox& outbox) {
+  if (run->finished) return;
+  run->cancel.cancel();
+  if (!run->failed) {
+    run->failed = true;
+    ++counters_.requests_failed;
+    if (run->conn->open) {
+      outbox.emplace_back(
+          run->conn, encode_event(error_event(run->id, error_code::kExecutionFailed,
+                                              message)));
+    }
+  }
+  maybe_finalize_locked(run, outbox);
+}
+
+// ---------------------------------------------------------------------------
+// Output
+
+void ScenarioService::send_line(const std::shared_ptr<Connection>& conn,
+                                const std::string& line) {
+  bool delivered = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    delivered = conn->stream.write_line(line);
+  }
+  if (!delivered) {
+    // The peer is gone; the reader loop will observe EOF and run the full
+    // disconnect path. Just stop treating the connection as writable.
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn->open = false;
+  }
+}
+
+void ScenarioService::flush(Outbox& outbox) {
+  for (auto& [conn, line] : outbox) send_line(conn, line);
+  outbox.clear();
+}
+
+}  // namespace adc::service

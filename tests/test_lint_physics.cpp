@@ -235,6 +235,14 @@ TEST(LintPhysics, DeterminismRuntimeLayerOwnsClocks) {
   EXPECT_EQ(count_rule(lint_file("src/dsp/fft.cpp", clocks), "determinism"), 1u);
 }
 
+TEST(LintPhysics, DeterminismServiceLayerOwnsSocketDeadlines) {
+  // src/service/ drives poll()/accept timeouts and status telemetry, so
+  // wall-clock reads are legal there exactly as in src/runtime/.
+  const std::string clocks = "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(count_rule(lint_file("src/service/server.cpp", clocks), "determinism"), 0u);
+  EXPECT_EQ(count_rule(lint_file("src/scenario/runner.cpp", clocks), "determinism"), 1u);
+}
+
 TEST(LintPhysics, DeterminismUnorderedContainersFlaggedEvenInRuntime) {
   // Iteration order can leak into serialized manifests, so the unordered
   // half of the rule has no runtime exemption.
@@ -272,6 +280,19 @@ TEST(LintPhysics, IncludeLayeringAcceptsDownwardInclude) {
 TEST(LintPhysics, DefaultLayerDagIsAcyclic) {
   EXPECT_TRUE(adc::lint::find_dag_cycle(adc::lint::default_layer_dag()).empty());
   EXPECT_TRUE(adc::lint::dag_closure(adc::lint::default_layer_dag()).has_value());
+}
+
+TEST(LintPhysics, ServiceLayerSitsAboveScenarioAndBelowTools) {
+  // service may include scenario/runtime/common ...
+  const std::string down =
+      "#include \"scenario/runner.hpp\"\n"
+      "#include \"runtime/thread_pool.hpp\"\n"
+      "#include \"common/json.hpp\"\n";
+  EXPECT_EQ(count_rule(lint_file("src/service/server.cpp", down), "include-layering"), 0u);
+  // ... but nothing below service may reach up into it.
+  const std::string up = "#include \"service/protocol.hpp\"\n";
+  EXPECT_EQ(count_rule(lint_file("src/scenario/runner.cpp", up), "include-layering"), 1u);
+  EXPECT_EQ(count_rule(lint_file("src/runtime/manifest.cpp", up), "include-layering"), 1u);
 }
 
 TEST(LintPhysics, CyclicLayerDagIsRejectedLoudly) {

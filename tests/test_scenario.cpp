@@ -303,6 +303,55 @@ TEST_F(ScenarioTest, CacheStatsAndClear) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST_F(ScenarioTest, CacheStatsDocumentIsMachineReadable) {
+  RunOptions options;
+  options.cache_dir = path("cache");
+  (void)ScenarioRunner(options).run(parse_spec_text(kSmallSpec));
+
+  ResultCache cache(options.cache_dir);
+  (void)cache.load("0000000000000000");  // one recorded miss
+  const auto doc = cache.stats_document();
+  EXPECT_EQ(doc.find("cache_dir")->as_string(), cache.root());
+  EXPECT_EQ(doc.find("entries")->as_uint64(), 4u);
+  EXPECT_GT(doc.find("bytes")->as_uint64(), 0u);
+  const auto* session = doc.find("session");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->find("misses")->as_uint64(), 1u);
+  EXPECT_EQ(session->find("hits")->as_uint64(), 0u);
+  // The document survives a compact round trip (CI parses it with jq).
+  EXPECT_EQ(json::dump_compact(json::parse(json::dump(doc))), json::dump_compact(doc));
+}
+
+TEST_F(ScenarioTest, UnusableCacheRootIsOneClearError) {
+  std::ofstream(path("occupied")) << "a file, not a directory";
+
+  // A file where the root should be: both creation and probe writes fail.
+  ResultCache as_file(path("occupied"));
+  try {
+    as_file.ensure_writable();
+    FAIL() << "ensure_writable accepted a plain file as the cache root";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scenario cache root"), std::string::npos);
+    EXPECT_NE(what.find(path("occupied")), std::string::npos);
+  }
+
+  // A nested path under that file cannot be created either.
+  ResultCache under_file(path("occupied") + "/nested");
+  EXPECT_THROW(under_file.ensure_writable(), ConfigError);
+
+  // A cache-aware run reports the same error up front instead of a raw
+  // filesystem exception mid-run.
+  RunOptions options;
+  options.cache_dir = path("occupied");
+  EXPECT_THROW((void)ScenarioRunner(options).run(parse_spec_text(kSmallSpec)),
+               ConfigError);
+
+  // A writable root passes the same probe.
+  ResultCache good(path("cache"));
+  EXPECT_NO_THROW(good.ensure_writable());
+}
+
 /// The fidelity profile is physics as far as the cache is concerned: the
 /// same spec under `fast` must miss every `exact` entry (and vice versa),
 /// while a warm re-run of either profile stays 100% hits. A cache that

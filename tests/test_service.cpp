@@ -1,0 +1,478 @@
+/// Tests for the scenario service (src/service/): wire-protocol parsing,
+/// socket line framing, streamed-report/batch-report byte identity, the
+/// shared warm tier (zero pool submissions on a warm run), single-flight
+/// dedup across concurrent tenants, cancellation via message and via
+/// disconnect (with bit-identical resume from the surviving cache entries),
+/// admission control, and error paths.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "runtime/parallel.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+
+namespace fs = std::filesystem;
+namespace json = adc::common::json;
+using adc::common::ConfigError;
+using namespace adc::service;
+
+namespace {
+
+/// A fast 4-job dynamic sweep (2 rates x 2 seeds, 256-sample records).
+const char* kSmallSpec = R"({
+  "name": "small",
+  "stimulus": {"type": "tone", "frequency_hz": 10e6, "record_length": 256},
+  "measurement": {"type": "dynamic"},
+  "seeds": {"first": 42, "count": 2},
+  "sweep": [{"key": "die.conversion_rate_hz", "values": [60e6, 110e6]}]
+})";
+
+/// A dearer 4-job sweep (4096-sample records) for races that need the first
+/// request still active when the second arrives.
+const char* kSlowSpec = R"({
+  "name": "slower",
+  "stimulus": {"type": "tone", "frequency_hz": 10e6, "record_length": 4096},
+  "measurement": {"type": "dynamic"},
+  "seeds": {"first": 7, "count": 2},
+  "sweep": [{"key": "die.conversion_rate_hz", "values": [60e6, 110e6]}]
+})";
+
+json::JsonValue run_request(const char* spec_text, const std::string& id,
+                            std::uint64_t max_jobs = 0) {
+  auto request = json::JsonValue::object();
+  request.set("type", "run");
+  request.set("id", id);
+  request.set("spec", json::parse(spec_text));
+  if (max_jobs != 0) {
+    auto options = json::JsonValue::object();
+    options.set("max_jobs", max_jobs);
+    request.set("options", std::move(options));
+  }
+  return request;
+}
+
+/// The batch CLI's report for `spec_text` computed in-process with its own
+/// cold cache — the byte-identity reference for streamed summaries.
+json::JsonValue batch_report(const char* spec_text, const std::string& cache_dir) {
+  adc::scenario::RunOptions options;
+  options.cache_dir = cache_dir;
+  adc::scenario::ScenarioRunner runner(options);
+  return runner.run(adc::scenario::parse_spec_text(spec_text)).report;
+}
+
+/// One protocol conversation: connects, swallows the hello, then reads
+/// events on demand. Every read carries a generous deadline so a wedged
+/// server fails the test instead of hanging it.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& socket_path)
+      : stream_(UnixStream::connect(socket_path)) {
+    const auto hello = next_event();
+    EXPECT_EQ(event_type(hello), "hello");
+    EXPECT_EQ(hello.find("protocol")->as_uint64(), kProtocolVersion);
+  }
+
+  void send(const json::JsonValue& request) {
+    ASSERT_TRUE(stream_.write_line(json::dump_compact(request)));
+  }
+
+  /// Next event line as a document; a closed/wedged stream returns null.
+  json::JsonValue next_event(int timeout_ms = 60000) {
+    std::string line;
+    const auto status = stream_.read_line(line, timeout_ms);
+    if (status != UnixStream::ReadStatus::kLine) return json::JsonValue();
+    return json::parse(line);
+  }
+
+  /// Read until an event of `wanted` type arrives, collecting every `cell`
+  /// event passed on the way into `cells`.
+  json::JsonValue await(const std::string& wanted,
+                        std::vector<json::JsonValue>* cells = nullptr) {
+    for (;;) {
+      auto event = next_event();
+      if (event.is_null()) {
+        ADD_FAILURE() << "connection closed while waiting for \"" << wanted << "\"";
+        return event;
+      }
+      const std::string type = event_type(event);
+      if (cells != nullptr && type == "cell") cells->push_back(event);
+      if (type == wanted) return event;
+      if (type == "error" && wanted != "error") {
+        ADD_FAILURE() << "server error while waiting for \"" << wanted
+                      << "\": " << json::dump_compact(event);
+        return event;
+      }
+    }
+  }
+
+  void close() { stream_.close(); }
+
+ private:
+  UnixStream stream_;
+};
+
+/// Fixture owning a scratch directory, a service instance, and its socket.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("adc_service_" + std::to_string(::getpid()) + "_" + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    service_.reset();
+    fs::remove_all(dir_);
+  }
+
+  /// Start a service on a fresh socket + cache under the scratch dir.
+  ScenarioService& start_service(std::size_t max_inflight = 4,
+                                 std::size_t max_requests = 8) {
+    ServiceOptions options;
+    options.socket_path = (dir_ / "s.sock").string();
+    options.cache_dir = (dir_ / "cache").string();
+    options.max_inflight_per_connection = max_inflight;
+    options.max_requests_per_connection = max_requests;
+    service_ = std::make_unique<ScenarioService>(options);
+    service_->start();
+    return *service_;
+  }
+
+  [[nodiscard]] std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  fs::path dir_;
+  std::unique_ptr<ScenarioService> service_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Protocol parsing (no sockets involved)
+
+TEST(ServiceProtocol, ParseRequestValidates) {
+  EXPECT_THROW((void)parse_request("not json"), ConfigError);
+  EXPECT_THROW((void)parse_request("[1, 2]"), ConfigError);
+  EXPECT_THROW((void)parse_request(R"({"id": "x"})"), ConfigError);
+  EXPECT_THROW((void)parse_request(R"({"type": "launch"})"), ConfigError);
+  EXPECT_THROW((void)parse_request(R"({"type": "run", "id": "x"})"), ConfigError);
+  EXPECT_THROW((void)parse_request(R"({"type": "run", "spec": {}})"), ConfigError);
+  EXPECT_THROW((void)parse_request(R"({"type": "cancel"})"), ConfigError);
+  EXPECT_THROW((void)parse_request(
+                   R"({"type": "run", "id": "x", "spec": {}, "options": {"bogus": 1}})"),
+               ConfigError);
+
+  const auto run = parse_request(
+      R"({"type": "run", "id": "r1", "spec": {"name": "x"}, "options": {"max_jobs": 3}})");
+  EXPECT_EQ(run.type, Request::Type::kRun);
+  EXPECT_EQ(run.id, "r1");
+  EXPECT_EQ(run.max_jobs, 3u);
+  EXPECT_TRUE(run.spec.is_object());
+
+  EXPECT_EQ(parse_request(R"({"type": "status"})").type, Request::Type::kStatus);
+  EXPECT_EQ(parse_request(R"({"type": "shutdown"})").type, Request::Type::kShutdown);
+}
+
+TEST(ServiceProtocol, EventBuildersRoundTrip) {
+  const auto cell = cell_event("r1", 3, "abc123", CellOrigin::kDedup,
+                               json::parse(R"({"snr_db": 70.5})"));
+  const auto parsed = json::parse(encode_event(cell));
+  EXPECT_EQ(event_type(parsed), "cell");
+  EXPECT_EQ(parsed.find("origin")->as_string(), "dedup");
+  EXPECT_EQ(parsed.find("index")->as_uint64(), 3u);
+  EXPECT_EQ(parsed.find("metrics")->find("snr_db")->as_double(), 70.5);
+
+  const auto error = error_event("", error_code::kBadRequest, "nope");
+  EXPECT_FALSE(error.contains("id"));
+  EXPECT_EQ(error.find("code")->as_string(), "bad_request");
+}
+
+// ---------------------------------------------------------------------------
+// Socket framing
+
+TEST_F(ServiceTest, SocketLineFramingRoundTrips) {
+  UnixListener listener(path("frame.sock"));
+  std::thread peer([&] {
+    auto accepted = listener.accept(10000);
+    ASSERT_TRUE(accepted.has_value());
+    // Two frames in one write, then a partial line closed without newline.
+    ASSERT_TRUE(accepted->write_line("first\nsecond"));
+    accepted->close();
+  });
+  auto client = UnixStream::connect(path("frame.sock"));
+  std::string line;
+  ASSERT_EQ(client.read_line(line, 10000), UnixStream::ReadStatus::kLine);
+  EXPECT_EQ(line, "first");
+  ASSERT_EQ(client.read_line(line, 10000), UnixStream::ReadStatus::kLine);
+  EXPECT_EQ(line, "second");
+  // The trailing unterminated bytes are discarded at EOF.
+  EXPECT_EQ(client.read_line(line, 10000), UnixStream::ReadStatus::kClosed);
+  peer.join();
+}
+
+TEST_F(ServiceTest, SocketPathTooLongIsRejected) {
+  const std::string long_path = path(std::string(200, 'x'));
+  EXPECT_THROW((void)UnixListener(long_path), ConfigError);
+  EXPECT_THROW((void)UnixStream::connect(long_path), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end service behaviour
+
+TEST_F(ServiceTest, StreamedReportMatchesBatchByteForByte) {
+  auto& service = start_service();
+  TestClient client(service.socket_path());
+  client.send(run_request(kSmallSpec, "r1"));
+
+  const auto accepted = client.await("accepted");
+  EXPECT_EQ(accepted.find("jobs")->as_uint64(), 4u);
+  std::vector<json::JsonValue> cells;
+  const auto summary = client.await("summary", &cells);
+
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.find("origin")->as_string(), "miss");  // cold cache
+  }
+  EXPECT_EQ(summary.find("computed")->as_uint64(), 4u);
+  EXPECT_EQ(summary.find("cache_hits")->as_uint64(), 0u);
+
+  const auto reference = batch_report(kSmallSpec, path("batch_cache"));
+  EXPECT_EQ(json::dump(*summary.find("report")), json::dump(reference));
+}
+
+TEST_F(ServiceTest, WarmRunServedEntirelyFromCacheWithZeroSubmissions) {
+  auto& service = start_service();
+  {
+    TestClient first(service.socket_path());
+    first.send(run_request(kSmallSpec, "cold"));
+    (void)first.await("summary");
+  }
+  const auto before = adc::runtime::global_pool().counters().submitted;
+
+  TestClient second(service.socket_path());
+  second.send(run_request(kSmallSpec, "warm"));
+  std::vector<json::JsonValue> cells;
+  const auto summary = second.await("summary", &cells);
+
+  EXPECT_EQ(summary.find("cache_hits")->as_uint64(), 4u);
+  EXPECT_EQ(summary.find("computed")->as_uint64(), 0u);
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.find("origin")->as_string(), "hit");
+  }
+  EXPECT_EQ(adc::runtime::global_pool().counters().submitted, before)
+      << "a fully cached request must not submit pool jobs";
+}
+
+TEST_F(ServiceTest, ConcurrentDuplicateRequestsComputeEachCellOnce) {
+  auto& service = start_service();
+  const auto before = adc::runtime::global_pool().counters().submitted;
+
+  std::atomic<std::uint64_t> computed{0};
+  std::atomic<std::uint64_t> shared{0};  // hits + dedups
+  std::vector<std::string> reports(2);
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < 2; ++t) {
+    tenants.emplace_back([&, t] {
+      TestClient client(service.socket_path());
+      client.send(run_request(kSmallSpec, "dup"));
+      const auto summary = client.await("summary");
+      if (summary.is_null() || event_type(summary) != "summary") return;
+      computed += summary.find("computed")->as_uint64();
+      shared += summary.find("cache_hits")->as_uint64() +
+                summary.find("deduped")->as_uint64();
+      reports[t] = json::dump(*summary.find("report"));
+    });
+  }
+  for (auto& tenant : tenants) tenant.join();
+
+  // 4 unique cells, cold cache: each computed exactly once fleet-wide; the
+  // other tenant's copies came from the cache or the in-flight computation.
+  EXPECT_EQ(computed.load(), 4u);
+  EXPECT_EQ(shared.load(), 4u);
+  EXPECT_EQ(adc::runtime::global_pool().counters().submitted, before + 4);
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_FALSE(reports[0].empty());
+}
+
+TEST_F(ServiceTest, CancelMessageStopsSchedulingAndResumesBitIdentically) {
+  auto& service = start_service(/*max_inflight=*/1);
+  {
+    TestClient client(service.socket_path());
+    client.send(run_request(kSlowSpec, "r1"));
+    (void)client.await("accepted");
+    auto cancel = json::JsonValue::object();
+    cancel.set("type", "cancel");
+    cancel.set("id", "r1");
+    client.send(cancel);
+    const auto cancelled = client.await("cancelled");
+    ASSERT_EQ(event_type(cancelled), "cancelled");
+    EXPECT_LT(cancelled.find("delivered")->as_uint64(), 4u)
+        << "cancel right after accept should stop well short of the sweep";
+  }
+
+  // Whatever cells finished were stored; an identical request completes and
+  // matches the batch report byte for byte.
+  TestClient resumed(service.socket_path());
+  resumed.send(run_request(kSlowSpec, "r2"));
+  const auto summary = resumed.await("summary");
+  EXPECT_EQ(summary.find("jobs")->as_uint64(), 4u);
+  const auto reference = batch_report(kSlowSpec, path("batch_cache"));
+  EXPECT_EQ(json::dump(*summary.find("report")), json::dump(reference));
+}
+
+TEST_F(ServiceTest, DisconnectCancelsInflightWithoutPoisoningTheCache) {
+  auto& service = start_service(/*max_inflight=*/1);
+  {
+    TestClient client(service.socket_path());
+    client.send(run_request(kSlowSpec, "doomed"));
+    (void)client.await("accepted");
+    client.close();  // vanish mid-sweep
+  }
+  // The disconnect cancels the request once its in-flight cells drain.
+  for (int i = 0; i < 600; ++i) {
+    if (service.counters().requests_cancelled >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(service.counters().requests_cancelled, 1u);
+
+  TestClient survivor(service.socket_path());
+  survivor.send(run_request(kSlowSpec, "retry"));
+  const auto summary = survivor.await("summary");
+  const auto reference = batch_report(kSlowSpec, path("batch_cache"));
+  EXPECT_EQ(json::dump(*summary.find("report")), json::dump(reference));
+}
+
+TEST_F(ServiceTest, MaxJobsBudgetSkipsExcessMisses) {
+  auto& service = start_service();
+  TestClient client(service.socket_path());
+  client.send(run_request(kSmallSpec, "budget", /*max_jobs=*/2));
+  const auto summary = client.await("summary");
+  EXPECT_EQ(summary.find("computed")->as_uint64(), 2u);
+  EXPECT_EQ(summary.find("skipped")->as_uint64(), 2u);
+  // Skipped cells appear in the report as rows with null metrics, exactly as
+  // in a batch run interrupted by --max-jobs.
+  std::size_t null_rows = 0;
+  for (const auto& row : summary.find("report")->find("results")->items()) {
+    if (row.find("metrics")->is_null()) ++null_rows;
+  }
+  EXPECT_EQ(null_rows, 2u);
+}
+
+TEST_F(ServiceTest, AdmissionRejectsRequestsBeyondTheBound) {
+  auto& service = start_service(/*max_inflight=*/1, /*max_requests=*/1);
+  TestClient client(service.socket_path());
+  client.send(run_request(kSlowSpec, "first"));
+  client.send(run_request(kSmallSpec, "second"));  // while `first` is active
+
+  const auto error = client.await("error");
+  EXPECT_EQ(error.find("code")->as_string(), error_code::kAdmission);
+  EXPECT_EQ(error.find("id")->as_string(), "second");
+  // The admitted request is unaffected by the rejection.
+  const auto summary = client.await("summary");
+  EXPECT_EQ(summary.find("id")->as_string(), "first");
+  EXPECT_EQ(summary.find("jobs")->as_uint64(), 4u);
+}
+
+TEST_F(ServiceTest, DuplicateRequestIdIsRejected) {
+  auto& service = start_service(/*max_inflight=*/1);
+  TestClient client(service.socket_path());
+  client.send(run_request(kSlowSpec, "same"));
+  client.send(run_request(kSmallSpec, "same"));
+  const auto error = client.await("error");
+  EXPECT_EQ(error.find("code")->as_string(), error_code::kDuplicateId);
+  (void)client.await("summary");
+}
+
+TEST_F(ServiceTest, MalformedLinesAndInvalidSpecsGetStructuredErrors) {
+  auto& service = start_service();
+  TestClient client(service.socket_path());
+
+  client.send(json::JsonValue("not an object"));
+  auto error = client.await("error");
+  EXPECT_EQ(error.find("code")->as_string(), error_code::kBadRequest);
+
+  auto bad_run = json::JsonValue::object();
+  bad_run.set("type", "run");
+  bad_run.set("id", "bad");
+  bad_run.set("spec", json::parse(R"({"name": "x"})"));
+  client.send(bad_run);
+  error = client.await("error");
+  EXPECT_EQ(error.find("code")->as_string(), error_code::kInvalidSpec);
+  EXPECT_EQ(error.find("id")->as_string(), "bad");
+
+  auto cancel = json::JsonValue::object();
+  cancel.set("type", "cancel");
+  cancel.set("id", "ghost");
+  client.send(cancel);
+  error = client.await("error");
+  EXPECT_EQ(error.find("code")->as_string(), error_code::kUnknownRequest);
+}
+
+TEST_F(ServiceTest, StatusReportsRequestsCacheAndPool) {
+  auto& service = start_service();
+  {
+    TestClient warmup(service.socket_path());
+    warmup.send(run_request(kSmallSpec, "w"));
+    (void)warmup.await("summary");
+  }
+  TestClient client(service.socket_path());
+  auto status_request = json::JsonValue::object();
+  status_request.set("type", "status");
+  client.send(status_request);
+  const auto status = client.await("status");
+
+  EXPECT_EQ(status.find("protocol")->as_uint64(), kProtocolVersion);
+  EXPECT_EQ(status.find("counters")->find("requests_completed")->as_uint64(), 1u);
+  EXPECT_EQ(status.find("counters")->find("cells_computed")->as_uint64(), 4u);
+  EXPECT_EQ(status.find("cache")->find("entries")->as_uint64(), 4u);
+  EXPECT_TRUE(status.find("pool")->find("submitted")->is_integer());
+  EXPECT_TRUE(status.find("requests")->is_array());
+}
+
+TEST_F(ServiceTest, ShutdownRequestDrainsAndRejectsNewWork) {
+  auto& service = start_service();
+  TestClient client(service.socket_path());
+  auto shutdown = json::JsonValue::object();
+  shutdown.set("type", "shutdown");
+  client.send(shutdown);
+  (void)client.await("bye");
+  EXPECT_TRUE(service.shutdown_requested());
+
+  client.send(run_request(kSmallSpec, "late"));
+  const auto error = client.await("error");
+  EXPECT_EQ(error.find("code")->as_string(), error_code::kShuttingDown);
+  service.stop();
+}
+
+TEST_F(ServiceTest, UnusableCacheRootFailsStartWithOneClearError) {
+  // A plain file where the cache root should be: creation must fail.
+  const std::string file_as_root = path("not_a_dir");
+  std::ofstream(file_as_root) << "occupied";
+  ServiceOptions options;
+  options.socket_path = path("s.sock");
+  options.cache_dir = file_as_root;
+  ScenarioService service(options);
+  try {
+    service.start();
+    FAIL() << "start() accepted a file as the cache root";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(file_as_root), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cache root"), std::string::npos);
+  }
+}

@@ -29,7 +29,8 @@ bool any_of_ids(const std::array<std::string_view, N>& set, std::string_view tex
 const std::vector<std::string>& known_layers() {
   static const std::vector<std::string> layers{
       "common",  "analog",      "clocking", "dsp",    "digital",  "runtime", "bias",
-      "pipeline", "power",      "twostep",  "survey", "calibration", "testbench", "scenario"};
+      "pipeline", "power",      "twostep",  "survey", "calibration", "testbench", "scenario",
+      "service"};
   return layers;
 }
 
@@ -92,6 +93,7 @@ const LayerDag& default_layer_dag() {
       {"survey", {"common", "power"}},
       {"testbench", {"common", "dsp", "pipeline", "runtime"}},
       {"scenario", {"common", "pipeline", "power", "runtime", "testbench"}},
+      {"service", {"common", "runtime", "scenario"}},
   }};
   return dag;
 }
@@ -197,7 +199,8 @@ struct FileContext {
   bool in_math_layer = false;     // src/analog | src/pipeline (profile-math)
   bool is_exact_profile = false;  // transient solver: direct libm is the contract
   bool in_alloc_layer = false;    // src/analog | src/pipeline | src/digital
-  bool in_runtime = false;        // src/runtime may read clocks (telemetry)
+  bool in_clock_exempt = false;   // src/runtime (telemetry) and src/service
+                                  // (socket/poll deadlines) may read clocks
   std::string layer;              // src/<layer>, empty outside src or unknown
 };
 
@@ -212,7 +215,8 @@ FileContext make_context(const fs::path& path) {
   ctx.in_math_layer = in_analog || in_pipeline;
   ctx.is_exact_profile = path_contains(path, "analog/transient.");
   ctx.in_alloc_layer = in_analog || in_pipeline || path_contains(path, "src/digital/");
-  ctx.in_runtime = path_contains(path, "src/runtime/");
+  ctx.in_clock_exempt =
+      path_contains(path, "src/runtime/") || path_contains(path, "src/service/");
   ctx.layer = layer_of(path);
   return ctx;
 }
@@ -403,11 +407,14 @@ class TokenScanner {
           "or lint-ok with a proof the order never escapes");
       return;
     }
-    if (ctx_.in_runtime) return;  // telemetry layer owns the clocks
+    // The telemetry layer owns the clocks; the service layer legitimately
+    // waits on sockets, polls and condition-variable deadlines.
+    if (ctx_.in_clock_exempt) return;
     const char* const clock_msg =
         "wall-clock/thread-identity read in a result-producing layer breaks "
         "run-to-run determinism; timing belongs to src/runtime/ telemetry "
-        "(RunManifest), results must depend only on seeds and specs";
+        "(RunManifest) or src/service/ I/O deadlines, results must depend "
+        "only on seeds and specs";
     if (t.text == "chrono" || t.text == "this_thread" || t.text == "rdtsc" ||
         t.text == "__rdtsc" || t.text == "__builtin_ia32_rdtsc") {
       add(t.line, "determinism", clock_msg);

@@ -31,10 +31,12 @@
 ///                       fill pattern and stays legal.
 ///   determinism         no wall-clock/thread-identity reads (std::chrono,
 ///                       time(), clock(), this_thread, rdtsc) outside
-///                       src/runtime/, and no unordered_{map,set} anywhere in
-///                       src/ — iteration order would leak into common/json
-///                       serialization or the FNV-1a cache hash and silently
-///                       fork the content-addressed cache.
+///                       src/runtime/ (telemetry) and src/service/ (socket
+///                       poll/condition-variable deadlines), and no
+///                       unordered_{map,set} anywhere in src/ — iteration
+///                       order would leak into common/json serialization or
+///                       the FNV-1a cache hash and silently fork the
+///                       content-addressed cache.
 ///   include-layering    quote includes must follow the declared layer DAG
 ///                       (default_layer_dag); an upward or cyclic #include is
 ///                       a finding, and the extracted directory-level graph
