@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <optional>
 #include <utility>
 
@@ -22,17 +23,37 @@ using adc::common::ConfigError;
 /// observed, not a correctness knob.
 constexpr int kPollMs = 200;
 
+/// Hard bound on one connection's queued-but-unwritten event lines. Hitting
+/// it means the client stopped draining its socket; the connection is killed
+/// rather than buffered without limit.
+constexpr std::size_t kMaxQueuedLines = 4096;
+/// Soft bound: above this queue depth the scheduler stops starting new cells
+/// for the tenant, giving a slow-but-alive client time to catch up before
+/// the hard bound disconnects it.
+constexpr std::size_t kSendQueueBackpressure = kMaxQueuedLines / 2;
+/// Per-line write deadline for the connection writer threads. A peer whose
+/// socket accepts no bytes for this long is treated as gone.
+constexpr int kWriteDeadlineMs = 5000;
+
 struct ScenarioService::Connection {
   std::uint64_t id = 0;
   UnixStream stream;
-  std::mutex write_mutex;
-  /// False once the peer is gone (EOF or failed write). Guarded by the
-  /// service mutex_ for state decisions; writes themselves are safe either
-  /// way (a dead socket just fails).
+  /// False once the peer is gone (EOF, write failure, or send-queue
+  /// overflow). Guarded by the service mutex_ for state decisions.
   bool open = true;
   std::size_t inflight = 0;         ///< computing cells owned by this tenant
   std::size_t active_requests = 0;  ///< admitted run requests
   std::thread reader;
+
+  // Outbound delivery: a bounded FIFO drained by `writer`. send_mutex is a
+  // leaf lock — safe to take while holding the service mutex_, never the
+  // other way around.
+  std::mutex send_mutex;
+  std::condition_variable send_cv;
+  std::deque<std::string> send_queue;
+  bool send_closed = false;  ///< no further enqueues; the writer drains and exits
+  std::atomic<std::size_t> queued{0};  ///< send_queue.size(), for lock-free peeks
+  std::thread writer;
 };
 
 struct ScenarioService::RunState {
@@ -91,8 +112,12 @@ void ScenarioService::start() {
 void ScenarioService::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_relaxed);
-  listener_->close();
+  // Join the accept loop *before* touching the listener: accept() polls the
+  // listening descriptor, so closing it concurrently would race on the fd
+  // (and a reused descriptor number could be polled by accident). The loop
+  // observes stopping_ within one kPollMs tick.
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_->close();
 
   // Disconnect every client: shutdown wakes blocked readers with EOF.
   std::vector<std::shared_ptr<Connection>> connections;
@@ -116,6 +141,18 @@ void ScenarioService::stop() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     drain_cv_.wait(lock, [this] { return pending_pool_jobs_ == 0; });
+  }
+
+  // Nothing enqueues anymore: retire the writers. Their streams are already
+  // shut down, so a remaining backlog fails fast instead of waiting out
+  // write deadlines.
+  for (const auto& conn : connections) close_send_queue(conn);
+  for (const auto& conn : connections) {
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
     active_.clear();
     inflight_.clear();
     connections_.clear();
@@ -151,6 +188,8 @@ void ScenarioService::accept_loop() {
     }
     for (const auto& conn : dead) {
       if (conn->reader.joinable()) conn->reader.join();
+      close_send_queue(conn);
+      if (conn->writer.joinable()) conn->writer.join();
     }
 
     if (!stream.has_value()) continue;
@@ -162,6 +201,7 @@ void ScenarioService::accept_loop() {
       connections_.push_back(conn);
       ++counters_.connections_accepted;
     }
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
     conn->reader = std::thread([this, conn] { reader_loop(conn); });
   }
 }
@@ -219,7 +259,6 @@ void ScenarioService::handle_run(const std::shared_ptr<Connection>& conn,
   }
   run->payloads.resize(run->plan.jobs.size());
 
-  std::string rejection;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const bool duplicate =
@@ -227,29 +266,33 @@ void ScenarioService::handle_run(const std::shared_ptr<Connection>& conn,
           return other->conn == conn && other->id == request.id;
         });
     if (duplicate) {
-      rejection = encode_event(error_event(
-          request.id, error_code::kDuplicateId,
-          "request id \"" + request.id + "\" is already active on this connection"));
-    } else if (conn->active_requests >= options_.max_requests_per_connection) {
-      rejection = encode_event(error_event(
-          request.id, error_code::kAdmission,
-          "connection already has " + std::to_string(conn->active_requests) +
-              " active requests (limit " +
-              std::to_string(options_.max_requests_per_connection) + ")"));
-    } else {
-      run->seq = next_run_seq_++;
-      ++conn->active_requests;
-      ++counters_.requests_accepted;
-      active_.push_back(run);
+      send_line(conn, encode_event(error_event(
+                          request.id, error_code::kDuplicateId,
+                          "request id \"" + request.id +
+                              "\" is already active on this connection")));
+      return;
     }
+    if (conn->active_requests >= options_.max_requests_per_connection) {
+      send_line(conn, encode_event(error_event(
+                          request.id, error_code::kAdmission,
+                          "connection already has " +
+                              std::to_string(conn->active_requests) +
+                              " active requests (limit " +
+                              std::to_string(options_.max_requests_per_connection) +
+                              ")")));
+      return;
+    }
+    run->seq = next_run_seq_++;
+    ++conn->active_requests;
+    ++counters_.requests_accepted;
+    // `accepted` goes onto the connection FIFO *before* the run is published
+    // to active_, all under mutex_: the scheduler cannot enqueue a cell (or
+    // a warm-cache summary) ahead of it.
+    send_line(conn, encode_event(accepted_event(run->id, run->spec.name,
+                                                run->plan.spec_hash,
+                                                run->plan.jobs.size())));
+    active_.push_back(run);
   }
-  if (!rejection.empty()) {
-    send_line(conn, rejection);
-    return;
-  }
-  send_line(conn, encode_event(accepted_event(run->id, run->spec.name,
-                                              run->plan.spec_hash,
-                                              run->plan.jobs.size())));
   // An empty sweep (cannot happen today — expand_jobs yields >= 1 job) would
   // finalize on its first scheduler visit; no special case needed here.
   work_cv_.notify_all();
@@ -257,23 +300,21 @@ void ScenarioService::handle_run(const std::shared_ptr<Connection>& conn,
 
 void ScenarioService::handle_cancel(const std::shared_ptr<Connection>& conn,
                                     const Request& request) {
-  Outbox outbox;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = std::find_if(active_.begin(), active_.end(), [&](const auto& run) {
       return run->conn == conn && run->id == request.id;
     });
     if (it == active_.end()) {
-      outbox.emplace_back(conn, encode_event(error_event(
-                                    request.id, error_code::kUnknownRequest,
-                                    "no active request \"" + request.id + "\"")));
+      send_line(conn, encode_event(error_event(
+                          request.id, error_code::kUnknownRequest,
+                          "no active request \"" + request.id + "\"")));
     } else {
       (*it)->cancel_requested = true;
       (*it)->cancel.cancel();
-      maybe_finalize_locked(*it, outbox);
+      maybe_finalize_locked(*it);
     }
   }
-  flush(outbox);
   work_cv_.notify_all();
 }
 
@@ -335,17 +376,17 @@ void ScenarioService::handle_shutdown(const std::shared_ptr<Connection>& conn) {
 }
 
 void ScenarioService::on_disconnect(const std::shared_ptr<Connection>& conn) {
-  Outbox outbox;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     conn->open = false;
     for (const auto& run : active_) {
       if (run->conn != conn) continue;
       run->cancel.cancel();
-      maybe_finalize_locked(run, outbox);
+      maybe_finalize_locked(run);
     }
   }
-  flush(outbox);  // writes to the dead peer are dropped in send_line
+  // The peer is gone: retire the writer (a remaining backlog fails fast).
+  close_send_queue(conn);
   work_cv_.notify_all();
 }
 
@@ -376,6 +417,12 @@ bool ScenarioService::pick_next_locked(std::shared_ptr<RunState>& run,
     if (candidate->finished || candidate->cancel.cancelled()) continue;
     if (candidate->next_job >= candidate->plan.jobs.size()) continue;
     if (candidate->conn->inflight >= options_.max_inflight_per_connection) continue;
+    // Backpressure: a tenant whose send queue is deep gets no new cells
+    // until its client catches up (or overflows the hard bound and dies).
+    if (candidate->conn->queued.load(std::memory_order_relaxed) >=
+        kSendQueueBackpressure) {
+      continue;
+    }
     run = candidate;
     index = candidate->next_job++;
     rr_cursor_ = (at + 1) % n;  // fairness: the next turn goes to the next tenant
@@ -415,17 +462,16 @@ void ScenarioService::dispatch_cell(const std::shared_ptr<RunState>& run,
   auto payload = cache_.load(hash);
 
   // Phase 3 — deliver the hit, skip, or submit the computation.
-  Outbox outbox;
   bool submit = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (action == Action::kProbeBudgetExhausted) {
       if (payload.has_value()) {
-        record_payload_locked(run, index, *payload, CellOrigin::kHit, outbox);
+        record_payload_locked(run, index, *payload, CellOrigin::kHit);
       } else {
         ++run->skipped;
         ++run->processed;
-        maybe_finalize_locked(run, outbox);
+        maybe_finalize_locked(run);
       }
     } else if (payload.has_value()) {
       // Deliver to the owner and to everyone who subscribed while probing.
@@ -433,7 +479,7 @@ void ScenarioService::dispatch_cell(const std::shared_ptr<RunState>& run,
       inflight_.erase(hash);
       for (const auto& [subscriber, at] : entry->subscribers) {
         if (subscriber != run) --subscriber->subscriptions;
-        record_payload_locked(subscriber, at, *payload, CellOrigin::kHit, outbox);
+        record_payload_locked(subscriber, at, *payload, CellOrigin::kHit);
       }
     } else {
       ++run->scheduled_misses;
@@ -443,7 +489,6 @@ void ScenarioService::dispatch_cell(const std::shared_ptr<RunState>& run,
       submit = true;
     }
   }
-  flush(outbox);
   if (submit) {
     adc::runtime::global_pool().submit(
         [this, run, index, hash] { execute_cell(run, index, hash); });
@@ -465,7 +510,6 @@ void ScenarioService::execute_cell(const std::shared_ptr<RunState>& run,
     if (failure.empty()) failure = "unknown execution failure";
   }
 
-  Outbox outbox;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto entry = inflight_.find(hash)->second;
@@ -479,27 +523,30 @@ void ScenarioService::execute_cell(const std::shared_ptr<RunState>& run,
         --subscriber->subscriptions;
       }
       if (!failure.empty()) {
-        fail_request_locked(subscriber, failure, outbox);
+        fail_request_locked(subscriber, failure);
       } else {
         record_payload_locked(subscriber, at, payload,
-                              owner ? CellOrigin::kMiss : CellOrigin::kDedup, outbox);
+                              owner ? CellOrigin::kMiss : CellOrigin::kDedup);
       }
     }
     --pending_pool_jobs_;
+    // Notify *inside* the critical section: pool workers are not joined by
+    // stop() (only drained via pending_pool_jobs_), so a notify after the
+    // unlock could touch condition variables of an already-destroyed
+    // service. Under the lock, stop() cannot observe the zero count until
+    // the notify has happened.
+    drain_cv_.notify_all();
+    work_cv_.notify_all();
   }
-  flush(outbox);
-  drain_cv_.notify_all();
-  work_cv_.notify_all();
 }
 
 void ScenarioService::record_payload_locked(const std::shared_ptr<RunState>& run,
                                             std::size_t index,
                                             const json::JsonValue& payload,
-                                            CellOrigin origin, Outbox& outbox) {
+                                            CellOrigin origin) {
   if (run->finished) return;
   run->payloads[index] = payload;
   ++run->processed;
-  ++run->delivered;
   switch (origin) {
     case CellOrigin::kHit:
       ++run->hits;
@@ -514,17 +561,19 @@ void ScenarioService::record_payload_locked(const std::shared_ptr<RunState>& run
       ++counters_.cells_deduped;
       break;
   }
-  if (run->conn->open && !run->cancel.cancelled()) {
-    outbox.emplace_back(run->conn,
-                        encode_event(cell_event(run->id, index,
-                                                run->plan.hashes[index], origin,
-                                                payload)));
+  // `delivered` counts only cell events actually placed on the wire queue:
+  // cells finishing after a cancel (suppressed here) or after the queue
+  // closed must not be claimed by the terminal `cancelled` event.
+  if (run->conn->open && !run->cancel.cancelled() &&
+      send_line(run->conn, encode_event(cell_event(run->id, index,
+                                                   run->plan.hashes[index],
+                                                   origin, payload)))) {
+    ++run->delivered;
   }
-  maybe_finalize_locked(run, outbox);
+  maybe_finalize_locked(run);
 }
 
-void ScenarioService::maybe_finalize_locked(const std::shared_ptr<RunState>& run,
-                                            Outbox& outbox) {
+void ScenarioService::maybe_finalize_locked(const std::shared_ptr<RunState>& run) {
   if (run->finished) return;
   const bool drained = run->inflight == 0 && run->subscriptions == 0;
   if (!drained) return;
@@ -537,11 +586,10 @@ void ScenarioService::maybe_finalize_locked(const std::shared_ptr<RunState>& run
     auto report =
         adc::scenario::build_report(run->spec, run->plan, run->payloads);
     if (run->conn->open) {
-      outbox.emplace_back(
-          run->conn,
-          encode_event(summary_event(run->id, run->plan.jobs.size(), run->hits,
-                                     run->deduped, run->computed, run->skipped,
-                                     std::move(report))));
+      send_line(run->conn,
+                encode_event(summary_event(run->id, run->plan.jobs.size(),
+                                           run->hits, run->deduped, run->computed,
+                                           run->skipped, std::move(report))));
     }
     ++counters_.requests_completed;
 
@@ -562,8 +610,7 @@ void ScenarioService::maybe_finalize_locked(const std::shared_ptr<RunState>& run
     (void)manifest.write_to_env_dir();
   } else if (run->cancel_requested && !run->failed) {
     if (run->conn->open) {
-      outbox.emplace_back(run->conn,
-                          encode_event(cancelled_event(run->id, run->delivered)));
+      send_line(run->conn, encode_event(cancelled_event(run->id, run->delivered)));
     }
     ++counters_.requests_cancelled;
   } else if (!run->failed) {
@@ -577,43 +624,80 @@ void ScenarioService::maybe_finalize_locked(const std::shared_ptr<RunState>& run
 }
 
 void ScenarioService::fail_request_locked(const std::shared_ptr<RunState>& run,
-                                          const std::string& message,
-                                          Outbox& outbox) {
+                                          const std::string& message) {
   if (run->finished) return;
   run->cancel.cancel();
   if (!run->failed) {
     run->failed = true;
     ++counters_.requests_failed;
     if (run->conn->open) {
-      outbox.emplace_back(
-          run->conn, encode_event(error_event(run->id, error_code::kExecutionFailed,
-                                              message)));
+      send_line(run->conn, encode_event(error_event(
+                               run->id, error_code::kExecutionFailed, message)));
     }
   }
-  maybe_finalize_locked(run, outbox);
+  maybe_finalize_locked(run);
 }
 
 // ---------------------------------------------------------------------------
 // Output
 
-void ScenarioService::send_line(const std::shared_ptr<Connection>& conn,
+bool ScenarioService::send_line(const std::shared_ptr<Connection>& conn,
                                 const std::string& line) {
-  bool delivered = false;
+  bool overflow = false;
   {
-    std::lock_guard<std::mutex> lock(conn->write_mutex);
-    delivered = conn->stream.write_line(line);
+    std::lock_guard<std::mutex> lock(conn->send_mutex);
+    if (conn->send_closed) return false;
+    if (conn->send_queue.size() >= kMaxQueuedLines) {
+      conn->send_closed = true;
+      conn->send_queue.clear();
+      conn->queued.store(0, std::memory_order_relaxed);
+      overflow = true;
+    } else {
+      conn->send_queue.push_back(line);
+      conn->queued.store(conn->send_queue.size(), std::memory_order_relaxed);
+    }
   }
-  if (!delivered) {
-    // The peer is gone; the reader loop will observe EOF and run the full
-    // disconnect path. Just stop treating the connection as writable.
-    std::lock_guard<std::mutex> lock(mutex_);
-    conn->open = false;
+  conn->send_cv.notify_one();
+  if (overflow) {
+    // The client stopped draining its socket and blew through the
+    // backpressure bound: kill the connection. The reader observes the
+    // shutdown as EOF and runs the disconnect/cancellation path.
+    conn->stream.shutdown_both();
+    return false;
   }
+  return true;
 }
 
-void ScenarioService::flush(Outbox& outbox) {
-  for (auto& [conn, line] : outbox) send_line(conn, line);
-  outbox.clear();
+void ScenarioService::close_send_queue(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->send_mutex);
+    conn->send_closed = true;
+  }
+  conn->send_cv.notify_all();
+}
+
+void ScenarioService::writer_loop(const std::shared_ptr<Connection>& conn) {
+  std::unique_lock<std::mutex> lock(conn->send_mutex);
+  for (;;) {
+    conn->send_cv.wait(
+        lock, [&] { return conn->send_closed || !conn->send_queue.empty(); });
+    if (conn->send_queue.empty()) return;  // closed and drained
+    std::string line = std::move(conn->send_queue.front());
+    conn->send_queue.pop_front();
+    conn->queued.store(conn->send_queue.size(), std::memory_order_relaxed);
+    lock.unlock();
+    const bool delivered = conn->stream.write_line(line, kWriteDeadlineMs);
+    lock.lock();
+    if (!delivered) {
+      // Stalled or vanished peer: drop the backlog and force the reader to
+      // observe the disconnect, which runs the cancellation path.
+      conn->send_closed = true;
+      conn->send_queue.clear();
+      conn->queued.store(0, std::memory_order_relaxed);
+      conn->stream.shutdown_both();
+      return;
+    }
+  }
 }
 
 }  // namespace adc::service

@@ -34,6 +34,13 @@
 ///     Cancelling stops *scheduling*; already-running cells complete and
 ///     their results are stored, so a later identical request resumes from
 ///     the cache bit-identically (nothing is poisoned).
+///   * **Bounded delivery**: events are enqueued on a per-connection FIFO
+///     (order fixed under the service lock — `accepted` always precedes the
+///     run's `cell` events, which precede its terminal event) and drained by
+///     a per-connection writer thread under a write deadline. A client that
+///     stops draining its socket is disconnected on queue overflow or write
+///     timeout; it can never stall the scheduler, the pool workers, or other
+///     tenants.
 ///
 /// Completed requests emit a terminal `summary` event whose embedded report
 /// document is byte-identical to the batch CLI's report for the same spec
@@ -117,11 +124,13 @@ class ScenarioService {
   struct Connection;
   struct RunState;
   struct Inflight;
-  /// Lines to deliver after mutex_ is released: (connection, wire text).
-  using Outbox = std::vector<std::pair<std::shared_ptr<Connection>, std::string>>;
 
   void accept_loop();
   void reader_loop(const std::shared_ptr<Connection>& conn);
+  /// Drains one connection's bounded send queue onto the socket, each line
+  /// under a write deadline; a stalled or vanished peer kills the connection
+  /// instead of blocking the threads that produce events.
+  void writer_loop(const std::shared_ptr<Connection>& conn);
   void scheduler_loop();
 
   void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
@@ -143,15 +152,20 @@ class ScenarioService {
 
   void record_payload_locked(const std::shared_ptr<RunState>& run, std::size_t index,
                              const adc::common::json::JsonValue& payload,
-                             CellOrigin origin, Outbox& outbox);
-  void maybe_finalize_locked(const std::shared_ptr<RunState>& run, Outbox& outbox);
+                             CellOrigin origin);
+  void maybe_finalize_locked(const std::shared_ptr<RunState>& run);
   void fail_request_locked(const std::shared_ptr<RunState>& run,
-                           const std::string& message, Outbox& outbox);
+                           const std::string& message);
 
-  /// Send one event line now (takes the connection's write mutex; never
-  /// call while holding mutex_). A write failure marks the peer gone.
-  void send_line(const std::shared_ptr<Connection>& conn, const std::string& line);
-  void flush(Outbox& outbox);
+  /// Enqueue one event line on the connection's FIFO send queue (drained by
+  /// writer_loop). Non-blocking and safe with or without mutex_ held —
+  /// protocol event order is fixed at enqueue time, so emitters that must
+  /// order against the scheduler enqueue while holding mutex_. Returns false
+  /// when the line was dropped (queue closed, or overflow just killed the
+  /// connection).
+  bool send_line(const std::shared_ptr<Connection>& conn, const std::string& line);
+  /// Close the send queue (no new lines; the writer drains and exits).
+  static void close_send_queue(const std::shared_ptr<Connection>& conn);
 
   ServiceOptions options_;
   adc::scenario::ResultCache cache_;

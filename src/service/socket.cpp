@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -72,20 +73,32 @@ UnixStream UnixStream::connect(const std::string& path) {
   return UnixStream(fd);
 }
 
-bool UnixStream::write_line(const std::string& line) {
+bool UnixStream::write_line(const std::string& line, int timeout_ms) {
   if (fd_ < 0) return false;
   const std::string framed = line + "\n";
+  // MSG_DONTWAIT makes each send non-blocking regardless of the socket's
+  // mode, so a full buffer surfaces as EAGAIN and the deadline below applies
+  // instead of send() parking the thread indefinitely.
+  const int flags = MSG_NOSIGNAL | (timeout_ms >= 0 ? MSG_DONTWAIT : 0);
+  const auto start = std::chrono::steady_clock::now();
   std::size_t sent = 0;
   while (sent < framed.size()) {
-    const ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, flags);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && errno == EAGAIN) {
-      if (!wait_ready(fd_, POLLOUT, -1)) return false;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        wait_ms = timeout_ms - static_cast<int>(elapsed);
+        if (wait_ms <= 0) return false;  // deadline passed: the peer stalled
+      }
+      if (!wait_ready(fd_, POLLOUT, wait_ms)) return false;
       continue;
     }
     return false;  // EPIPE / ECONNRESET: the peer is gone
@@ -127,6 +140,18 @@ void UnixStream::close() {
 
 UnixListener::UnixListener(const std::string& path) : path_(path) {
   const sockaddr_un address = make_address(path);
+  // Never steal the path from a live daemon: if something answers a connect,
+  // refuse to start. Only a stale file (connect refused — the daemon that
+  // bound it crashed without unlinking) is reclaimed.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const bool alive =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) == 0;
+    ::close(probe);
+    if (alive) {
+      throw ConfigError("socket \"" + path + "\" is already in use by a running daemon");
+    }
+  }
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw ConfigError(std::string("unix socket creation failed: ") + std::strerror(errno));

@@ -45,8 +45,11 @@ class UnixStream {
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
   /// Send `line` plus a trailing newline; retries short writes. Returns
-  /// false when the peer is gone (EPIPE/ECONNRESET) or the stream is closed.
-  bool write_line(const std::string& line);
+  /// false when the peer is gone (EPIPE/ECONNRESET), the stream is closed,
+  /// or — with a non-negative `timeout_ms` — the peer stopped draining its
+  /// socket for longer than the deadline (the line may then be partially
+  /// written; treat the stream as dead). Negative = wait indefinitely.
+  bool write_line(const std::string& line, int timeout_ms = -1);
 
   enum class ReadStatus { kLine, kTimeout, kClosed };
 
@@ -71,9 +74,11 @@ class UnixStream {
 /// A listening Unix-domain socket bound to a filesystem path.
 class UnixListener {
  public:
-  /// Bind + listen on `path`. A stale socket file from a previous run is
-  /// unlinked first. Throws ConfigError on any failure (path too long, bind
-  /// refused, ...).
+  /// Bind + listen on `path`. A *stale* socket file (nothing answers a
+  /// connect) from a crashed run is unlinked first, but a path a live
+  /// daemon is still serving throws ConfigError("... already in use ...")
+  /// instead of silently stealing it. Also throws on any other failure
+  /// (path too long, bind refused, ...).
   explicit UnixListener(const std::string& path);
   ~UnixListener();
 

@@ -5,10 +5,13 @@
 /// disconnect (with bit-identical resume from the surviving cache entries),
 /// admission control, and error paths.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -231,6 +234,64 @@ TEST_F(ServiceTest, SocketPathTooLongIsRejected) {
   EXPECT_THROW((void)UnixStream::connect(long_path), ConfigError);
 }
 
+TEST_F(ServiceTest, SocketWriteDeadlineBoundsAStalledPeer) {
+  UnixListener listener(path("stall.sock"));
+  auto client = UnixStream::connect(path("stall.sock"));
+  auto accepted = listener.accept(10000);
+  ASSERT_TRUE(accepted.has_value());
+
+  // The client never reads: the socket buffers fill, after which every
+  // write must fail within its deadline instead of blocking forever.
+  const std::string line(64 * 1024, 'x');
+  const auto start = std::chrono::steady_clock::now();
+  bool failed = false;
+  for (int i = 0; i < 100 && !failed; ++i) {
+    failed = !accepted->write_line(line, /*timeout_ms=*/250);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(failed) << "writes to a stalled peer kept succeeding";
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 30);
+}
+
+TEST_F(ServiceTest, ListenerRefusesToStealALiveListenersPath) {
+  UnixListener first(path("live.sock"));
+  try {
+    UnixListener second(path("live.sock"));
+    FAIL() << "second listener bound a path a live listener is serving";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("already in use"), std::string::npos);
+  }
+  // The live listener is untouched: a client can still connect.
+  std::thread peer([&] {
+    auto conn = first.accept(10000);
+    EXPECT_TRUE(conn.has_value());
+  });
+  auto client = UnixStream::connect(path("live.sock"));
+  EXPECT_TRUE(client.valid());
+  peer.join();
+}
+
+TEST_F(ServiceTest, ListenerReclaimsAStaleSocketFile) {
+  // Simulate a crashed daemon: a bound socket file whose owner is gone.
+  const std::string stale = path("stale.sock");
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, stale.c_str(), stale.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+  ::close(fd);  // no unlink: the file stays behind, but nothing answers
+
+  UnixListener listener(stale);  // reclaims the stale file instead of throwing
+  std::thread peer([&] {
+    auto conn = listener.accept(10000);
+    EXPECT_TRUE(conn.has_value());
+  });
+  auto client = UnixStream::connect(stale);
+  EXPECT_TRUE(client.valid());
+  peer.join();
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end service behaviour
 
@@ -279,6 +340,33 @@ TEST_F(ServiceTest, WarmRunServedEntirelyFromCacheWithZeroSubmissions) {
       << "a fully cached request must not submit pool jobs";
 }
 
+TEST_F(ServiceTest, AcceptedAlwaysPrecedesCellsEvenOnAWarmCache) {
+  auto& service = start_service();
+  {
+    TestClient prime(service.socket_path());
+    prime.send(run_request(kSmallSpec, "prime"));
+    (void)prime.await("summary");
+  }
+  // On a fully warm cache the scheduler can produce every cell and the
+  // summary the instant the run is published; the per-connection FIFO must
+  // still deliver `accepted` first, the cells next, and the summary last.
+  for (int round = 0; round < 5; ++round) {
+    TestClient client(service.socket_path());
+    client.send(run_request(kSmallSpec, "warm" + std::to_string(round)));
+    std::vector<std::string> order;
+    for (;;) {
+      const auto event = client.next_event();
+      ASSERT_FALSE(event.is_null()) << "connection closed mid-run";
+      order.push_back(event_type(event));
+      ASSERT_NE(order.back(), "error") << json::dump_compact(event);
+      if (order.back() == "summary") break;
+    }
+    ASSERT_EQ(order.size(), 6u);
+    EXPECT_EQ(order.front(), "accepted");
+    for (std::size_t i = 1; i + 1 < order.size(); ++i) EXPECT_EQ(order[i], "cell");
+  }
+}
+
 TEST_F(ServiceTest, ConcurrentDuplicateRequestsComputeEachCellOnce) {
   auto& service = start_service();
   const auto before = adc::runtime::global_pool().counters().submitted;
@@ -320,10 +408,14 @@ TEST_F(ServiceTest, CancelMessageStopsSchedulingAndResumesBitIdentically) {
     cancel.set("type", "cancel");
     cancel.set("id", "r1");
     client.send(cancel);
-    const auto cancelled = client.await("cancelled");
+    std::vector<json::JsonValue> cells;
+    const auto cancelled = client.await("cancelled", &cells);
     ASSERT_EQ(event_type(cancelled), "cancelled");
     EXPECT_LT(cancelled.find("delivered")->as_uint64(), 4u)
         << "cancel right after accept should stop well short of the sweep";
+    // Cells finishing after the cancel are recorded but not streamed; the
+    // terminal event must claim exactly the cells the client was sent.
+    EXPECT_EQ(cancelled.find("delivered")->as_uint64(), cells.size());
   }
 
   // Whatever cells finished were stored; an identical request completes and
