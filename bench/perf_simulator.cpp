@@ -10,8 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "batch/converter.hpp"
+#include "common/isa_dispatch.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/signal.hpp"
 #include "dsp/spectrum.hpp"
@@ -51,6 +54,29 @@ void BM_ConvertNominalFast(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_ConvertNominalFast)->Arg(1 << 10)->Arg(1 << 13);
+
+// The batch engine on the same workload: one full die-block (8 dies, one
+// per SIMD lane) through the SoA kernel at the runtime-selected ISA tier.
+// Items = samples x dies, so items_per_second compares directly against
+// BM_ConvertNominalFast — the ratio is the batch engine's aggregate speedup
+// (tools/compare_bench.py reports it as a scalar/batch pair).
+void BM_ConvertNominalFastBatch(benchmark::State& state) {
+  auto config = adc::pipeline::nominal_design();
+  config.fidelity = adc::common::FidelityProfile::kFast;
+  std::vector<std::uint64_t> seeds(adc::batch::kLanes);
+  for (std::size_t d = 0; d < seeds.size(); ++d) {
+    seeds[d] = adc::pipeline::kNominalSeed + d;
+  }
+  adc::batch::BatchConverter converter(config, seeds);
+  const adc::dsp::SineSignal tone(0.985, 10.0037e6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(converter.convert(tone, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * seeds.size()));
+}
+BENCHMARK(BM_ConvertNominalFastBatch)->Arg(1 << 10)->Arg(1 << 13);
 
 void BM_ConvertIdeal(benchmark::State& state) {
   adc::pipeline::PipelineAdc converter(adc::pipeline::ideal_design());
@@ -145,6 +171,52 @@ void BM_MonteCarloSndr(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloSndr)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// End-to-end yield-style workload under the fast profile: 16 dies, full
+// dynamic test (capture + FFT + metrics) per die. The scalar variant runs
+// the per-die loop; the Batch variant is the same workload through
+// run_monte_carlo_dynamic and the batch conversion engine. Single-threaded
+// on purpose so the pair isolates the engine, not the pool; items = dies x
+// record samples, directly comparable across the pair.
+void BM_MonteCarloFastSndr(benchmark::State& state) {
+  auto config = adc::pipeline::nominal_design();
+  config.fidelity = adc::common::FidelityProfile::kFast;
+  adc::testbench::DynamicTestOptions test;
+  test.record_length = 1 << 11;
+  adc::testbench::MonteCarloOptions mc;
+  mc.num_dies = 16;
+  mc.first_seed = 42;
+  mc.threads = 1;
+  const auto metric = [&test](adc::pipeline::PipelineAdc& die) {
+    return adc::testbench::run_dynamic_test(die, test).metrics.sndr_db;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc::testbench::run_monte_carlo(config, metric, mc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * mc.num_dies *
+                          static_cast<std::int64_t>(test.record_length));
+}
+BENCHMARK(BM_MonteCarloFastSndr)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloFastSndrBatch(benchmark::State& state) {
+  auto config = adc::pipeline::nominal_design();
+  config.fidelity = adc::common::FidelityProfile::kFast;
+  adc::testbench::DynamicTestOptions test;
+  test.record_length = 1 << 11;
+  adc::testbench::MonteCarloOptions mc;
+  mc.num_dies = 16;
+  mc.first_seed = 42;
+  mc.threads = 1;
+  const auto metric = [](const adc::testbench::DynamicTestResult& r) {
+    return r.metrics.sndr_db;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc::testbench::run_monte_carlo_dynamic(config, test, metric, mc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * mc.num_dies *
+                          static_cast<std::int64_t>(test.record_length));
+}
+BENCHMARK(BM_MonteCarloFastSndrBatch)->Unit(benchmark::kMillisecond);
+
 // The Fig. 5 workload shape: a conversion-rate sweep, serial vs parallel.
 void BM_RateSweep(benchmark::State& state) {
   const auto cfg = adc::pipeline::nominal_design();
@@ -164,4 +236,25 @@ BENCHMARK(BM_RateSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the emitted JSON must carry
+// trustworthy provenance. The library's own "library_build_type" context
+// reports how *libbenchmark* was compiled (Debian's package ships a
+// no-NDEBUG build that always says "debug"), not how this simulator was
+// compiled — so we emit our own context keys and tools/run_bench.sh
+// verifies them after every run.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("simulator_build_type",
+#ifdef NDEBUG
+                              "release"
+#else
+                              "debug"
+#endif
+  );
+  benchmark::AddCustomContext("batch_isa",
+                              adc::common::to_string(adc::common::active_batch_isa()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

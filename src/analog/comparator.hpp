@@ -74,6 +74,10 @@ class Comparator {
   [[nodiscard]] double effective_threshold() const { return spec_.threshold + offset_; }
   /// The drawn offset [V].
   [[nodiscard]] double offset() const { return offset_; }
+  /// Per-decision input noise sigma [V rms] (batch-engine plan hoisting).
+  [[nodiscard]] double noise_rms() const { return spec_.noise_rms; }
+  /// Metastability half-window [V] (batch-engine plan hoisting).
+  [[nodiscard]] double metastable_window() const { return spec_.metastable_window; }
 
   /// Force a specific offset (failure injection in tests).
   void set_offset(double offset) { offset_ = offset; }

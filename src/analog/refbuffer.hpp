@@ -56,6 +56,11 @@ class ReferenceBuffer {
 
   [[nodiscard]] const RefBufferSpec& spec() const { return spec_; }
 
+  /// Realized static level error [V] drawn at construction (batch-engine
+  /// plan hoisting: a batch lane reconstructs vref as nominal + level - droop
+  /// with its own per-lane droop state).
+  [[nodiscard]] double level_error() const { return level_error_; }
+
  private:
   ReferenceBuffer(const RefBufferSpec& spec, double level_error);
   RefBufferSpec spec_;

@@ -166,6 +166,15 @@ class DifferentialSampler {
 
   [[nodiscard]] const SwitchModel& switch_model() const { return switch_; }
 
+  // --- fast-surrogate introspection (batch engine, src/batch) ---
+  // The Chebyshev surrogate tables and their fitted span, exposed so the
+  // batch kernels can run the identical Clenshaw recurrence on raw
+  // coefficient arrays; out-of-span lanes fall back to the public
+  // *_fast getters above through a baseline-compiled callback.
+  [[nodiscard]] const adc::common::Chebyshev& tau_fit() const { return tau_fit_; }
+  [[nodiscard]] const adc::common::Chebyshev& inj_fit() const { return inj_fit_; }
+  [[nodiscard]] double fit_vmax2() const { return fit_vmax2_; }
+
  private:
   /// Direct (surrogate-free) fast evaluations: the construction-time fit
   /// samples and the out-of-span fallback.

@@ -1,0 +1,124 @@
+/// \file converter.hpp
+/// BatchConverter: the owner side of the batch conversion engine.
+///
+/// A BatchConverter fabricates D dies from one base configuration plus a
+/// seed list, hoists every per-sample invariant of the fast profile into
+/// structure-of-arrays die-blocks of kLanes lanes, and runs whole captures
+/// through the ISA-dispatched kernel (batch_api.hpp). Results are
+/// byte-identical to calling `PipelineAdc::convert()` die by die under the
+/// same fast profile — the engine is a throughput optimization, never a
+/// fidelity knob.
+///
+/// Intended callers: the Monte-Carlo testbench (one converter per die
+/// block, blocks distributed by parallel_map) and the scenario runner
+/// (consecutive fast-profile jobs that differ only in seed).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "batch/batch_api.hpp"
+#include "common/isa_dispatch.hpp"
+#include "dsp/signal.hpp"
+#include "pipeline/adc.hpp"
+
+namespace adc::batch {
+
+/// Converts captures for a set of dies that share one configuration and
+/// differ only in their Monte-Carlo seed. Construction is the expensive
+/// part (it fabricates every die once to extract the plan); convert() is
+/// allocation-free per sample and reuses one chunk workspace across
+/// captures and die-blocks.
+class BatchConverter {
+ public:
+  /// Fabricate `seeds.size()` dies from `base` (its `seed` field is
+  /// overridden per die). `forced_isa` pins the kernel tier — tests use it
+  /// to pin cross-tier bit-identity; production callers leave it empty and
+  /// get the ADC_BATCH_ISA-aware runtime selection. Throws
+  /// adc::common::ConfigError if the configuration is outside the batch
+  /// engine's contract (see supports_config()).
+  BatchConverter(const adc::pipeline::AdcConfig& base, std::span<const std::uint64_t> seeds,
+                 std::optional<adc::common::BatchIsa> forced_isa = std::nullopt);
+
+  /// True when the batch engine can take this configuration: fast fidelity
+  /// profile and a stage count within the kernel's compile-time ceiling.
+  [[nodiscard]] static bool supports_config(const adc::pipeline::AdcConfig& config);
+
+  /// True when the stimulus has a batch kernel (SineSignal or
+  /// MultiToneSignal; the scalar path keeps everything else).
+  [[nodiscard]] static bool supports_signal(const adc::dsp::Signal& signal);
+
+  /// supports_config && supports_signal.
+  [[nodiscard]] static bool supports(const adc::pipeline::AdcConfig& config,
+                                     const adc::dsp::Signal& signal);
+
+  /// One capture of `n` samples for every die. result[d][k] is
+  /// byte-identical to what `PipelineAdc::convert(signal, n)[k]` returns on
+  /// a fresh die fabricated with seed `seeds[d]` after the same number of
+  /// prior captures. Captures advance the shared noise epoch exactly like
+  /// repeated scalar convert() calls do.
+  [[nodiscard]] std::vector<std::vector<int>> convert(const adc::dsp::Signal& signal,
+                                                      std::size_t n);
+
+  [[nodiscard]] std::size_t die_count() const { return seeds_.size(); }
+  [[nodiscard]] std::span<const std::uint64_t> seeds() const { return seeds_; }
+  [[nodiscard]] adc::common::BatchIsa isa() const { return isa_; }
+  [[nodiscard]] int resolution_bits() const { return ref_adc_->resolution_bits(); }
+  /// The normalized configuration shared by every die (seed = seeds()[0]).
+  [[nodiscard]] const adc::pipeline::AdcConfig& config() const { return ref_adc_->config(); }
+  /// Realized (normalized) conversion rate — uniform across the dies; same
+  /// value PipelineAdc::conversion_rate() reports on each of them.
+  [[nodiscard]] double conversion_rate() const { return ref_adc_->conversion_rate(); }
+  /// Full-scale input range [V peak-to-peak], uniform across the dies.
+  [[nodiscard]] double full_scale_vpp() const { return ref_adc_->full_scale_vpp(); }
+
+ private:
+  /// Per-lane and per-(stage|flash, lane) plan arrays of one die block.
+  /// Lane-minor layout, ragged blocks padded by replicating lane 0.
+  struct DieBlock {
+    std::size_t dies = 0;  ///< real dies in this block (1..kLanes)
+    std::array<std::uint64_t, kLanes> noise_key{};
+    std::array<double, kLanes> nominal_vref{};
+    std::array<double, kLanes> level_error{};
+    std::array<double, kLanes> ripple_sigma{};
+    std::vector<double> stage_lane;  ///< [kStageFieldCount][num_stages][kLanes]
+    std::vector<double> flash_lane;  ///< [kFlashFieldCount][flash_count][kLanes]
+  };
+
+  void extract_die(const adc::pipeline::PipelineAdc& adc, DieBlock& block, std::size_t lane);
+  void check_uniform(const adc::pipeline::PipelineAdc& adc) const;
+  [[nodiscard]] PlanView block_view(const DieBlock& block) const;
+
+  std::vector<std::uint64_t> seeds_;
+  adc::common::BatchIsa isa_;
+  const KernelOps* ops_ = nullptr;
+
+  /// First die, kept alive: uniform plan scalars, the sampler context for
+  /// the out-of-span fallbacks, and caller introspection.
+  std::unique_ptr<adc::pipeline::PipelineAdc> ref_adc_;
+
+  // Block-uniform plan data (identical across dies; verified at build).
+  PlanView proto_;  ///< uniform scalars filled once; per-block/per-call fields patched
+  std::vector<double> tau_coef_;
+  std::vector<double> inj_coef_;
+  std::vector<double> flash_frac_;
+  std::vector<long long> weights_;
+  std::vector<ToneView> tones_;  ///< rebuilt per convert() from the stimulus
+
+  std::vector<DieBlock> blocks_;
+
+  // Chunk workspace, allocated once and reused across captures, chunks and
+  // die-blocks (hot-path-alloc contract: never grown inside the kernel).
+  std::vector<double> scratch_;
+  std::vector<double> plane_;
+  std::vector<int> pad_;  ///< sink for padded lanes' codes (discarded)
+
+  std::uint64_t epoch_ = 0;  ///< capture counter shared by every die
+};
+
+}  // namespace adc::batch

@@ -36,7 +36,7 @@ struct PhiloxBlock {
 /// Philox4x32-10: encrypt the 128-bit counter (`counter`, `stream`) under
 /// the 64-bit `key`. Distinct (key, stream, counter) triples give
 /// independent blocks; nearby counters are as independent as distant ones.
-[[nodiscard]] inline PhiloxBlock philox4x32(std::uint64_t counter, std::uint64_t stream,
+[[nodiscard]] ADC_ALWAYS_INLINE inline PhiloxBlock philox4x32(std::uint64_t counter, std::uint64_t stream,
                                             std::uint64_t key) {
   constexpr std::uint32_t kMul0 = 0xD2511F53u;
   constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
@@ -72,7 +72,7 @@ struct PhiloxBlock {
 /// u1 lands in (0, 1] (so the log argument is a positive normal and a
 /// full-entropy u1 never repeats the polar method's rejection), u2 in
 /// [0, 1); the largest representable deviate is ~8.57 sigma.
-inline void philox_normal_pair(const PhiloxBlock& block, double& z0, double& z1) {
+ADC_ALWAYS_INLINE inline void philox_normal_pair(const PhiloxBlock& block, double& z0, double& z1) {
   const double u1 = (static_cast<double>(block.lo >> 11) + 1.0) * 0x1p-53;
   const double u2 = static_cast<double>(block.hi >> 11) * 0x1p-53;
   const double r = std::sqrt(-2.0 * fastmath::log_fast(u1));
@@ -86,7 +86,7 @@ inline void philox_normal_pair(const PhiloxBlock& block, double& z0, double& z1)
 /// The standard normal at position `index` of stream (`key`, `stream`):
 /// deviates are numbered so that block k = index/2 carries deviates 2k
 /// (cos lane) and 2k+1 (sin lane).
-[[nodiscard]] inline double philox_normal_at(std::uint64_t key, std::uint64_t stream,
+[[nodiscard]] ADC_ALWAYS_INLINE inline double philox_normal_at(std::uint64_t key, std::uint64_t stream,
                                              std::uint64_t index) {
   double z0 = 0.0;
   double z1 = 0.0;

@@ -1,0 +1,140 @@
+/// \file counter_rng_tile.hpp
+/// The tiled structure-of-arrays body of `philox_normal_fill`, shared between
+/// the baseline translation unit (counter_rng.cpp) and the batch engine's
+/// per-ISA kernels (src/batch/), which re-compile it with AVX2 / AVX-512
+/// code generation enabled.
+///
+/// Everything here is ADC_ALWAYS_INLINE: these bodies must never be emitted
+/// as out-of-line COMDAT copies from a wide-ISA translation unit (the linker
+/// could pick such a copy for baseline callers and crash SSE2 hosts). The
+/// arithmetic is element-wise IEEE with no contraction-sensitive idioms, so
+/// every ISA tier produces bit-identical output — the positional-determinism
+/// contract the batch engine's parity tests pin.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/counter_rng.hpp"
+#include "common/fastmath.hpp"
+
+namespace adc::common::tile {
+
+/// Blocks per tile of the structure-of-arrays bulk loop. 128 blocks = 256
+/// deviates; the scratch arrays stay inside L1 while each pass is long
+/// enough for the auto-vectorizer.
+inline constexpr std::size_t kTileBlocks = 128;
+
+/// Philox4x32-10 over a tile of consecutive counters, round-major: the four
+/// cipher words live in structure-of-arrays form and each round is a flat
+/// loop across the tile, so the 32x32->64 multiplies map onto the packed
+/// widening multiply (SSE2 `pmuludq`, VPMULUDQ under AVX2/AVX-512). Calling
+/// philox4x32() per block keeps the 10-round dependency chain inside one
+/// iteration and compiles scalar — round-major is ~1.5x faster and
+/// bit-identical (same round network, same constants; the per-round key is a
+/// scalar loop invariant).
+ADC_ALWAYS_INLINE inline void philox4x32_tile(std::uint64_t block, std::uint64_t stream,
+                                              std::uint64_t key, std::size_t tile,
+                                              std::uint64_t* lo, std::uint64_t* hi) {
+  constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+  std::uint32_t c0[kTileBlocks];
+  std::uint32_t c1[kTileBlocks];
+  std::uint32_t c2[kTileBlocks];
+  std::uint32_t c3[kTileBlocks];
+  const auto s_lo = static_cast<std::uint32_t>(stream);
+  const auto s_hi = static_cast<std::uint32_t>(stream >> 32);
+  for (std::size_t b = 0; b < tile; ++b) {
+    const std::uint64_t ctr = block + b;
+    c0[b] = static_cast<std::uint32_t>(ctr);
+    c1[b] = static_cast<std::uint32_t>(ctr >> 32);
+    c2[b] = s_lo;
+    c3[b] = s_hi;
+  }
+  std::uint32_t k0 = static_cast<std::uint32_t>(key);
+  std::uint32_t k1 = static_cast<std::uint32_t>(key >> 32);
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t b = 0; b < tile; ++b) {
+      const std::uint64_t p0 = static_cast<std::uint64_t>(kMul0) * c0[b];
+      const std::uint64_t p1 = static_cast<std::uint64_t>(kMul1) * c2[b];
+      c0[b] = static_cast<std::uint32_t>(p1 >> 32) ^ c1[b] ^ k0;
+      c1[b] = static_cast<std::uint32_t>(p1);
+      c2[b] = static_cast<std::uint32_t>(p0 >> 32) ^ c3[b] ^ k1;
+      c3[b] = static_cast<std::uint32_t>(p0);
+    }
+    k0 += kWeyl0;
+    k1 += kWeyl1;
+  }
+  for (std::size_t b = 0; b < tile; ++b) {
+    lo[b] = static_cast<std::uint64_t>(c0[b]) | (static_cast<std::uint64_t>(c1[b]) << 32);
+    hi[b] = static_cast<std::uint64_t>(c2[b]) | (static_cast<std::uint64_t>(c3[b]) << 32);
+  }
+}
+
+/// `out[i] = philox_normal_at(key, stream, first + i)` for i in [0, n), on
+/// raw pointers (no std::span: the batch TUs must stay free of template
+/// instantiations that could leak wide-ISA COMDAT bodies). Identical
+/// algorithm and bits as the public `philox_normal_fill`.
+ADC_ALWAYS_INLINE inline void philox_normal_fill_ptr(std::uint64_t key, std::uint64_t stream,
+                                                     std::uint64_t first, double* out,
+                                                     std::size_t n) {
+  std::size_t i = 0;
+  if (n == 0) return;
+  // Leading odd lane: position `first` is the sin lane of block first/2.
+  if ((first & 1u) != 0) {
+    out[i++] = philox_normal_at(key, stream, first);
+  }
+  // Whole blocks, tiled structure-of-arrays: separate passes for the integer
+  // cipher, the radius, and the angle keep each loop body uniform (no mixed
+  // int/double dependency chains), so the vectorizer can work on every pass.
+  // Elementwise the operations are exactly philox_normal_pair's, so the bulk
+  // loop is bit-identical to philox_normal_at at every position.
+  std::uint64_t block = (first + i) >> 1;
+  std::uint64_t lo[kTileBlocks];
+  std::uint64_t hi[kTileBlocks];
+  double u1[kTileBlocks];
+  double radius[kTileBlocks];
+  double angle[kTileBlocks];
+  while (n - i >= 2) {
+    const std::size_t tile = ((n - i) / 2 < kTileBlocks) ? (n - i) / 2 : kTileBlocks;
+    philox4x32_tile(block, stream, key, tile, lo, hi);
+    for (std::size_t b = 0; b < tile; ++b) {
+      // The 53-bit uniforms converted as hi22*2^31 + lo31: two *signed*
+      // 32-bit int->double conversions (the only width SSE2 can vectorize)
+      // whose halves are non-negative and whose sum is an exact integer
+      // below 2^53 — bit-identical to the direct 64-bit conversion in
+      // philox_normal_pair.
+      const std::uint64_t b1 = lo[b] >> 11;
+      const std::uint64_t b2 = hi[b] >> 11;
+      const double d1 =
+          static_cast<double>(static_cast<std::int32_t>(b1 >> 31)) * 0x1p31 +
+          static_cast<double>(static_cast<std::int32_t>(b1 & 0x7fffffffu));
+      const double d2 =
+          static_cast<double>(static_cast<std::int32_t>(b2 >> 31)) * 0x1p31 +
+          static_cast<double>(static_cast<std::int32_t>(b2 & 0x7fffffffu));
+      u1[b] = (d1 + 1.0) * 0x1p-53;
+      angle[b] = fastmath::kTwoPi * (d2 * 0x1p-53);
+    }
+    for (std::size_t b = 0; b < tile; ++b) {
+      radius[b] = std::sqrt(-2.0 * fastmath::log_fast(u1[b]));
+    }
+    for (std::size_t b = 0; b < tile; ++b) {
+      double s = 0.0;
+      double c = 0.0;
+      fastmath::sincos_fast(angle[b], s, c);
+      out[i + 2 * b] = radius[b] * c;
+      out[i + 2 * b + 1] = radius[b] * s;
+    }
+    block += tile;
+    i += 2 * tile;
+  }
+  // Trailing even lane.
+  if (i < n) {
+    out[i] = philox_normal_at(key, stream, first + i);
+  }
+}
+
+}  // namespace adc::common::tile

@@ -41,6 +41,18 @@
 #include "common/contracts.hpp"
 #include "common/fidelity.hpp"
 
+/// Force the kernels below to inline into every caller. Correctness, not just
+/// speed: the batch engine re-compiles its translation units with AVX2 and
+/// AVX-512 enabled, and an ordinary `inline` function used there would be
+/// emitted as a weak out-of-line COMDAT copy built with wide instructions —
+/// which the linker may then select for *baseline* callers, crashing SSE2
+/// hosts. always_inline leaves no out-of-line body to leak.
+#if defined(__GNUC__) || defined(__clang__)
+#define ADC_ALWAYS_INLINE [[gnu::always_inline]]
+#else
+#define ADC_ALWAYS_INLINE
+#endif
+
 namespace adc::common::fastmath {
 
 inline constexpr double kTwoPi = 6.28318530717958647693;
@@ -52,14 +64,14 @@ inline constexpr double kTwoPi = 6.28318530717958647693;
 /// ties-to-even rounding performs the job; subtracting recovers the integer.
 inline constexpr double kRoundMagic = 0x1.8p52;
 
-inline double round_even_small(double x) { return (x + kRoundMagic) - kRoundMagic; }
+ADC_ALWAYS_INLINE inline double round_even_small(double x) { return (x + kRoundMagic) - kRoundMagic; }
 
 /// e^x via Cody–Waite reduction (x = k·ln2 + r, |r| ≤ ln2/2) and a
 /// degree-13 Taylor polynomial; 2^k applied with one exponent-field cast.
 /// The polynomial is evaluated as even/odd halves in r² (Estrin): the two
 /// degree-6 Horner chains have no data dependence on each other, halving
 /// the latency of the serial chain for the scalar per-stage settle call.
-inline double exp_fast(double x) {
+ADC_ALWAYS_INLINE inline double exp_fast(double x) {
   if (x > 709.0) return std::numeric_limits<double>::infinity();
   if (x < -708.0) return 0.0;  // flush-to-zero below the normal range
   constexpr double kInvLn2 = 1.44269504088896340736;
@@ -93,7 +105,7 @@ inline double exp_fast(double x) {
 /// ln(x) for positive normal x: exponent split via the bit pattern, mantissa
 /// normalized into [sqrt(1/2), sqrt(2)), then the artanh series
 /// ln m = 2s(1 + s²/3 + s⁴/5 + ...) with s = (m-1)/(m+1), |s| ≤ 0.1716.
-inline double log_fast(double x) {
+ADC_ALWAYS_INLINE inline double log_fast(double x) {
   ADC_EXPECT(x >= 0x1p-1022, "log_fast: argument must be a positive normal double");
   constexpr double kLn2Hi = 6.93147180369123816490e-01;
   constexpr double kLn2Lo = 1.90821492927058770002e-10;
@@ -129,7 +141,7 @@ inline double log_fast(double x) {
 
 /// ln(1+x). Small |x| uses the artanh series directly on s = x/(2+x) (no
 /// cancellation); larger x falls through to log_fast(1+x).
-inline double log1p_fast(double x) {
+ADC_ALWAYS_INLINE inline double log1p_fast(double x) {
   if (x > -0.25 && x < 0.5) {
     const double s = x / (2.0 + x);
     const double z = s * s;
@@ -150,12 +162,12 @@ inline double log1p_fast(double x) {
 /// x^y for x > 0 as exp(y·ln x). The relative error grows with |y·ln x|
 /// (~1e-14 at |y·ln x| ≈ 10); the simulator's junction exponents keep it
 /// far below that.
-inline double pow_fast(double x, double y) { return exp_fast(y * log_fast(x)); }
+ADC_ALWAYS_INLINE inline double pow_fast(double x, double y) { return exp_fast(y * log_fast(x)); }
 
 /// sin and cos together: one π/2 Cody–Waite quadrant reduction (three-part
 /// constant, good to |x| ~ 1e6 rad) feeding degree-15/16 Taylor kernels on
 /// [-π/4, π/4], then the quadrant swap.
-inline void sincos_fast(double x, double& sin_out, double& cos_out) {
+ADC_ALWAYS_INLINE inline void sincos_fast(double x, double& sin_out, double& cos_out) {
   constexpr double kTwoOverPi = 0.63661977236758134308;
   constexpr double kPio2Hi = 1.57079632673412561417e+00;
   constexpr double kPio2Mid = 6.07710050650619224932e-11;
@@ -202,14 +214,14 @@ inline void sincos_fast(double x, double& sin_out, double& cos_out) {
   cos_out = std::bit_cast<double>(cmag ^ (((quadrant + 1u) & 2u) << 62));
 }
 
-inline double sin_fast(double x) {
+ADC_ALWAYS_INLINE inline double sin_fast(double x) {
   double s = 0.0;
   double c = 0.0;
   sincos_fast(x, s, c);
   return s;
 }
 
-inline double cos_fast(double x) {
+ADC_ALWAYS_INLINE inline double cos_fast(double x) {
   double s = 0.0;
   double c = 0.0;
   sincos_fast(x, s, c);

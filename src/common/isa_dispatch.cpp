@@ -1,0 +1,61 @@
+#include "common/isa_dispatch.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace adc::common {
+
+const char* to_string(BatchIsa isa) {
+  switch (isa) {
+    case BatchIsa::kSse2:
+      return "sse2";
+    case BatchIsa::kAvx2:
+      return "avx2";
+    case BatchIsa::kAvx512:
+      return "avx512";
+  }
+  return "sse2";
+}
+
+std::optional<BatchIsa> parse_batch_isa(std::string_view name) {
+  if (name == "sse2") return BatchIsa::kSse2;
+  if (name == "avx2") return BatchIsa::kAvx2;
+  if (name == "avx512") return BatchIsa::kAvx512;
+  return std::nullopt;
+}
+
+BatchIsa detect_batch_isa() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // The AVX-512 kernel is compiled with F+DQ+VL+BW; require the full set the
+  // code generator may use, not just the foundation.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("avx512bw")) {
+    return BatchIsa::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return BatchIsa::kAvx2;
+#endif
+  return BatchIsa::kSse2;
+}
+
+BatchIsa resolve_batch_isa(std::string_view name, BatchIsa detected) {
+  const auto requested = parse_batch_isa(name);
+  require(requested.has_value(),
+          "ADC_BATCH_ISA: unknown tier '" + std::string(name) + "' (expected sse2|avx2|avx512)");
+  // Clamp down, never up: forcing a weaker tier is always legal (every tier
+  // is bit-identical), forcing an unsupported stronger one would SIGILL.
+  return *requested < detected ? *requested : detected;
+}
+
+BatchIsa active_batch_isa() {
+  static const BatchIsa active = [] {
+    const BatchIsa detected = detect_batch_isa();
+    const char* env = std::getenv("ADC_BATCH_ISA");
+    if (env == nullptr || *env == '\0') return detected;
+    return resolve_batch_isa(env, detected);
+  }();
+  return active;
+}
+
+}  // namespace adc::common

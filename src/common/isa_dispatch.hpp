@@ -1,0 +1,54 @@
+/// \file isa_dispatch.hpp
+/// Runtime ISA selection for the batch conversion kernels.
+///
+/// The batch engine compiles its structure-of-arrays kernel three times —
+/// baseline SSE2 (the plain x86-64 ABI floor), AVX2, and AVX-512 — and picks
+/// one implementation per process at startup from CPUID. Every tier computes
+/// bit-identical results (the kernels are element-wise IEEE with contraction
+/// disabled), so the choice is purely a throughput decision and is safe to
+/// override for testing.
+///
+/// `ADC_BATCH_ISA` (environment) forces a tier by name: `sse2`, `avx2` or
+/// `avx512`. Requesting a tier the CPU cannot execute clamps *down* to the
+/// best supported one (a CI matrix can export `ADC_BATCH_ISA=avx512`
+/// everywhere without crashing SSE2 runners); an unrecognized value throws
+/// ConfigError so typos fail loudly instead of silently benchmarking the
+/// wrong kernel.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace adc::common {
+
+/// Instruction-set tiers the batch kernels are compiled for, ordered weakest
+/// to strongest so tiers compare with `<`.
+enum class BatchIsa {
+  kSse2 = 0,    ///< baseline x86-64 (always available)
+  kAvx2 = 1,    ///< 256-bit lanes + FMA-capable hardware (FMA unused: bit-identity)
+  kAvx512 = 2,  ///< 512-bit lanes (F/DQ/VL/BW)
+};
+
+/// Lower-case tier name (`"sse2"`, `"avx2"`, `"avx512"`).
+[[nodiscard]] const char* to_string(BatchIsa isa);
+
+/// Parse a tier name as accepted by `ADC_BATCH_ISA`. Returns nullopt for an
+/// unrecognized name (callers decide whether that is fatal).
+[[nodiscard]] std::optional<BatchIsa> parse_batch_isa(std::string_view name);
+
+/// Strongest tier this CPU can execute, from CPUID. Pure hardware probe —
+/// ignores the environment.
+[[nodiscard]] BatchIsa detect_batch_isa();
+
+/// The tier `ADC_BATCH_ISA=name` resolves to on hardware supporting
+/// `detected`: the named tier, clamped down to `detected` when the hardware
+/// is weaker. Throws ConfigError on an unrecognized name. Exposed separately
+/// from the environment lookup so the policy is unit-testable.
+[[nodiscard]] BatchIsa resolve_batch_isa(std::string_view name, BatchIsa detected);
+
+/// The process-wide tier: CPUID detection combined with the `ADC_BATCH_ISA`
+/// override, evaluated once on first call and cached (the environment is not
+/// re-read). This is what the batch engine dispatches on by default.
+[[nodiscard]] BatchIsa active_batch_isa();
+
+}  // namespace adc::common

@@ -63,6 +63,13 @@ class Chebyshev {
     return y * b1 - b2 + coef_[0];
   }
 
+  // --- surrogate introspection (batch engine, src/batch) ---
+  // Raw Clenshaw inputs, so SoA kernels can evaluate the identical
+  // recurrence on coefficient arrays without touching this class.
+  [[nodiscard]] const std::vector<double>& coefficients() const { return coef_; }
+  [[nodiscard]] double mid() const { return mid_; }
+  [[nodiscard]] double inv_half() const { return inv_half_; }
+
   [[nodiscard]] bool valid() const { return !coef_.empty(); }
   [[nodiscard]] double lo() const { return mid_ - half_; }
   [[nodiscard]] double hi() const { return mid_ + half_; }

@@ -46,6 +46,8 @@ class SineSignal final : public Signal {
 
   [[nodiscard]] double amplitude() const { return amplitude_; }
   [[nodiscard]] double frequency() const { return frequency_; }
+  [[nodiscard]] double phase() const { return phase_; }
+  [[nodiscard]] double offset() const { return offset_; }
 
  private:
   double amplitude_;
@@ -67,6 +69,8 @@ class MultiToneSignal final : public Signal {
   [[nodiscard]] double value(double t) const override;
   [[nodiscard]] double slope(double t) const override;
   void sample_fast(double t, double& value_out, double& slope_out) const override;
+
+  [[nodiscard]] const std::vector<Tone>& tones() const { return tones_; }
 
  private:
   std::vector<Tone> tones_;

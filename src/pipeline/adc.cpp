@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "pipeline/fast_layout.hpp"
 
 namespace adc::pipeline {
 
@@ -11,15 +12,14 @@ using adc::common::require;
 
 namespace {
 
-// Noise-plane slot layout of the fast profile (see common/noise_plane.hpp):
-// one row of standard normals per sample, each mechanism owning a fixed
-// slot, so an unconsumed draw (e.g. the low ADSC comparator when the high
-// one already decided) never shifts another mechanism's noise.
-constexpr std::size_t kSlotRipple = 0;     ///< SC-bias switching ripple
-constexpr std::size_t kSlotJitter = 1;     ///< white aperture jitter
-constexpr std::size_t kSlotWalk = 2;       ///< random-walk jitter step
-constexpr std::size_t kSlotStageBase = 3;  ///< first stage slot
-constexpr std::size_t kSlotsPerStage = 3;  ///< thermal, cmp_high, cmp_low
+// Noise-plane slot layout of the fast profile: shared with the batch engine
+// via pipeline/fast_layout.hpp (the batch kernels must consume the same
+// positional draws to stay bit-identical).
+using fast_layout::kSlotJitter;
+using fast_layout::kSlotRipple;
+using fast_layout::kSlotsPerStage;
+using fast_layout::kSlotStageBase;
+using fast_layout::kSlotWalk;
 /// Samples per plane generation: bounds the buffer (~1.2 MB at the nominal
 /// 36 slots/sample) while keeping the fill loop long enough to vectorize.
 /// Chunking cannot change any value — draws are positional.

@@ -196,6 +196,20 @@ class PipelineAdc {
   [[nodiscard]] const adc::bias::BiasSource& bias_source() const { return *bias_; }
   [[nodiscard]] const adc::digital::DelayAlignment& alignment() const { return alignment_; }
 
+  // --- fast-path plan introspection (batch engine, src/batch) ---
+  // The hoisted per-capture invariants of the fast profile, exposed so a
+  // BatchConverter can replicate the conversion loop in SoA form. The batch
+  // kernels pin bit-identity against convert(); these accessors are how the
+  // plan is extracted without friending the internals.
+  [[nodiscard]] std::uint64_t noise_plane_key() const { return noise_plane_.key(); }
+  [[nodiscard]] std::size_t noise_slots_per_sample() const {
+    return noise_plane_.slots_per_sample();
+  }
+  [[nodiscard]] double fast_settle_window() const { return settle_s_; }
+  [[nodiscard]] double fast_ripple_sigma() const { return ripple_sigma_; }
+  [[nodiscard]] const adc::analog::DifferentialSampler& sampler() const { return sampler_; }
+  [[nodiscard]] const adc::analog::ReferenceBuffer& reference_buffer() const { return refs_; }
+
   /// Reset dynamic state (reference droop, alignment registers) for a fresh
   /// capture; Monte-Carlo draws (mismatch, offsets) are preserved.
   void reset_state();

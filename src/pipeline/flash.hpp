@@ -41,6 +41,13 @@ class FlashConverter {
 
   [[nodiscard]] int bits() const { return bits_; }
   [[nodiscard]] std::size_t comparator_count() const { return comparators_.size(); }
+  /// Comparator k's threshold as a fraction of the live reference (batch
+  /// plan hoisting: the fast path computes threshold = fraction * vref).
+  [[nodiscard]] double threshold_fraction(std::size_t k) const { return threshold_fractions_[k]; }
+  /// Realized comparator k (batch plan hoisting: offset/noise/metastability).
+  [[nodiscard]] const adc::analog::Comparator& comparator(std::size_t k) const {
+    return comparators_[k];
+  }
   [[nodiscard]] double nominal_threshold(std::size_t k) const {
     return threshold_fractions_[k] * vref_nominal_;
   }

@@ -128,6 +128,20 @@ class PipelineStage {
   [[nodiscard]] double scale() const { return scale_; }
   [[nodiscard]] const adc::analog::Opamp& opamp() const { return opamp_; }
 
+  // --- fast-path plan introspection (batch engine, src/batch) ---
+  // The invariants process_fast() consumes per sample, exposed so a
+  // BatchConverter can hoist them once per die-block. Values, not handles:
+  // everything here is fixed at construction/prepare_fast().
+  [[nodiscard]] double dac_gain() const { return gdac_; }
+  [[nodiscard]] double gain_realized() const { return gain_; }
+  [[nodiscard]] double droop_d0() const { return droop_d0_; }
+  [[nodiscard]] double droop_d1() const { return droop_d1_; }
+  [[nodiscard]] const adc::analog::Opamp::SettleCoeffs& fast_settle() const {
+    return fast_settle_;
+  }
+  [[nodiscard]] const adc::analog::Comparator& high_comparator() const { return cmp_high_; }
+  [[nodiscard]] const adc::analog::Comparator& low_comparator() const { return cmp_low_; }
+
   /// Force ADSC comparator offsets (failure injection in tests). Index 0 is
   /// the lower (-V_REF/4) comparator, 1 the upper (+V_REF/4).
   void inject_comparator_offset(int comparator_index, double offset);

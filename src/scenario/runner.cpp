@@ -1,11 +1,14 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <utility>
 #include <vector>
 
+#include "batch/converter.hpp"
 #include "common/error.hpp"
 #include "pipeline/design.hpp"
 #include "power/power_model.hpp"
@@ -23,8 +26,10 @@ namespace json = adc::common::json;
 
 namespace {
 
-json::JsonValue run_dynamic(const ResolvedJob& job) {
-  adc::pipeline::PipelineAdc adc(job.config);
+/// Options of the single-tone bench for a resolved job — shared by the
+/// per-job path and the batched die-block path so both measure the exact
+/// same tone.
+adc::testbench::DynamicTestOptions dynamic_options(const ResolvedJob& job) {
   adc::testbench::DynamicTestOptions options;
   options.record_length = job.stimulus.record_length;
   // Mirror the rate-sweep benches: keep the tone inside the capped band as
@@ -32,8 +37,12 @@ json::JsonValue run_dynamic(const ResolvedJob& job) {
   const double fin_cap = job.stimulus.max_fin_fraction * job.config.conversion_rate / 2.0;
   options.target_fin_hz = std::min(job.stimulus.frequency_hz, fin_cap);
   options.amplitude_fraction = job.stimulus.amplitude_fraction;
-  const auto result = adc::testbench::run_dynamic_test(adc, options);
+  return options;
+}
 
+/// Payload of a dynamic measurement. One builder for the scalar and batched
+/// paths: identical key order, identical doubles, identical cache bytes.
+json::JsonValue dynamic_payload(const adc::testbench::DynamicTestResult& result) {
   auto payload = json::JsonValue::object();
   payload.set("tone_hz", result.tone.frequency_hz);
   payload.set("snr_db", result.metrics.snr_db);
@@ -42,6 +51,12 @@ json::JsonValue run_dynamic(const ResolvedJob& job) {
   payload.set("thd_db", result.metrics.thd_db);
   payload.set("enob", result.metrics.enob);
   return payload;
+}
+
+json::JsonValue run_dynamic(const ResolvedJob& job) {
+  adc::pipeline::PipelineAdc adc(job.config);
+  const auto result = adc::testbench::run_dynamic_test(adc, dynamic_options(job));
+  return dynamic_payload(result);
 }
 
 json::JsonValue run_two_tone(const ResolvedJob& job) {
@@ -117,6 +132,39 @@ void write_text_file(const std::string& path, const std::string& text) {
   out << text;
   out.flush();
   adc::common::require(out.good(), "ScenarioRunner: write failed for " + path);
+}
+
+/// A maximal run of consecutive cache misses the execute phase computes as
+/// one pool job. Batched units hold up to adc::batch::kLanes jobs that
+/// differ only in seed and route through one BatchConverter die-block.
+struct MissUnit {
+  std::size_t first = 0;  ///< position in the misses vector
+  std::size_t count = 1;
+};
+
+/// True when two grid points are the same sweep point (bitwise — the values
+/// come from the same expansion, so representational equality is exact).
+/// Jobs at equal points resolve to configurations differing only in seed.
+bool same_grid_point(const JobPoint& a, const JobPoint& b) {
+  if (a.axis_values.size() != b.axis_values.size()) return false;
+  for (std::size_t i = 0; i < a.axis_values.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.axis_values[i]) !=
+        std::bit_cast<std::uint64_t>(b.axis_values[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when the spec's measurement shape is one the batch engine can take:
+/// single-tone dynamic (or yield-over-dynamic) capture under the fast
+/// fidelity profile. Per-unit feasibility (stage count etc.) is still
+/// checked against the resolved configuration via supports_config.
+bool batchable_shape(const ScenarioSpec& spec) {
+  const bool dynamic_measurement = spec.measurement.type == MeasurementSpec::Type::kDynamic ||
+                                   spec.measurement.type == MeasurementSpec::Type::kYield;
+  return dynamic_measurement && spec.stimulus.type == StimulusSpec::Type::kTone &&
+         spec.die.fidelity == adc::common::FidelityProfile::kFast;
 }
 
 }  // namespace
@@ -303,27 +351,76 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
     misses.resize(options_.max_jobs);
   }
 
-  // Compute the misses in parallel. Each job persists its payload before
-  // the batch completes, which is what makes interrupted runs resumable.
+  // Group the misses into execute units. For single-tone dynamic/yield
+  // sweeps under the fast profile, consecutive misses at the same grid
+  // point differ only in seed (seeds are innermost in the expansion), so up
+  // to adc::batch::kLanes of them form one die-block for the batch
+  // conversion engine. Everything else — exact profile, two-tone, static,
+  // power, ramp — stays one job per unit, exactly the pre-batch behavior.
+  std::vector<MissUnit> units;
+  units.reserve(misses.size());
+  if (batchable_shape(spec)) {
+    std::size_t k = 0;
+    while (k < misses.size()) {
+      std::size_t j = k + 1;
+      while (j < misses.size() && j - k < adc::batch::kLanes &&
+             same_grid_point(jobs[misses[j]], jobs[misses[k]])) {
+        ++j;
+      }
+      units.push_back({k, j - k});
+      k = j;
+    }
+  } else {
+    for (std::size_t k = 0; k < misses.size(); ++k) units.push_back({k, 1});
+  }
+
+  // Compute the misses in parallel, one pool job per unit. Each unit
+  // persists its payloads before the batch completes, which is what makes
+  // interrupted runs resumable. Units are index-keyed pure functions, so
+  // results stay bit-identical at any thread count; the batch engine's own
+  // contract keeps them bit-identical to the per-job path.
   result.pool_before = adc::runtime::global_pool().counters();
   {
     auto phase = manifest.phase("execute", misses.size());
-    if (!misses.empty()) {
+    if (!units.empty()) {
       adc::runtime::BatchStats stats;
       adc::runtime::BatchOptions batch;
       batch.threads = options_.threads;
       batch.stats = &stats;
-      auto computed = adc::runtime::parallel_map<json::JsonValue>(
-          misses.size(),
-          [&](std::size_t k) {
-            const std::size_t index = misses[k];
-            auto payload = execute_job(resolve_job(spec, jobs[index]));
-            if (options_.use_cache) cache.store(hashes[index], payload);
-            return payload;
+      auto computed = adc::runtime::parallel_map<std::vector<json::JsonValue>>(
+          units.size(),
+          [&](std::size_t u) {
+            const MissUnit& unit = units[u];
+            std::vector<json::JsonValue> out;
+            out.reserve(unit.count);
+            const ResolvedJob first = resolve_job(spec, jobs[misses[unit.first]]);
+            if (unit.count >= adc::batch::kMinBatchDies &&
+                adc::batch::BatchConverter::supports_config(first.config)) {
+              std::vector<std::uint64_t> seeds;
+              seeds.reserve(unit.count);
+              for (std::size_t t = 0; t < unit.count; ++t) {
+                seeds.push_back(jobs[misses[unit.first + t]].seed);
+              }
+              const auto results = adc::testbench::run_dynamic_test_block(
+                  first.config, seeds, dynamic_options(first));
+              for (const auto& r : results) out.push_back(dynamic_payload(r));
+            } else {
+              for (std::size_t t = 0; t < unit.count; ++t) {
+                out.push_back(execute_job(resolve_job(spec, jobs[misses[unit.first + t]])));
+              }
+            }
+            if (options_.use_cache) {
+              for (std::size_t t = 0; t < unit.count; ++t) {
+                cache.store(hashes[misses[unit.first + t]], out[t]);
+              }
+            }
+            return out;
           },
           batch);
-      for (std::size_t k = 0; k < misses.size(); ++k) {
-        payloads[misses[k]] = std::move(computed[k]);
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        for (std::size_t t = 0; t < units[u].count; ++t) {
+          payloads[misses[units[u].first + t]] = std::move(computed[u][t]);
+        }
       }
     }
   }

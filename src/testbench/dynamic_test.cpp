@@ -1,6 +1,11 @@
 #include "testbench/dynamic_test.hpp"
 
+#include <algorithm>
+#include <utility>
+
+#include "batch/converter.hpp"
 #include "common/error.hpp"
+#include "runtime/parallel.hpp"
 
 namespace adc::testbench {
 
@@ -36,6 +41,127 @@ DynamicTestResult run_dynamic_test(adc::pipeline::PipelineAdc& adc,
     result.metrics = adc::dsp::analyze_tone_averaged(records, fs, spec);
   }
   return result;
+}
+
+namespace {
+
+/// Scalar fallback: fabricate and measure the block's dies one at a time.
+std::vector<DynamicTestResult> run_block_scalar(const adc::pipeline::AdcConfig& base,
+                                                std::span<const std::uint64_t> seeds,
+                                                const DynamicTestOptions& options) {
+  std::vector<DynamicTestResult> out;
+  out.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    adc::pipeline::AdcConfig cfg = base;
+    cfg.seed = seed;
+    adc::pipeline::PipelineAdc die(cfg);
+    out.push_back(run_dynamic_test(die, options));
+  }
+  return out;
+}
+
+/// Batch path: one BatchConverter per block, every capture runs all dies
+/// through the SoA kernel. The tone setup mirrors run_dynamic_test line by
+/// line (same coherent snap, same amplitude, same spectrum options), and the
+/// capture sequence per die matches the scalar averages loop — each
+/// convert() advances every die's noise epoch exactly once, like repeated
+/// scalar convert() calls on a per-die converter would.
+std::vector<DynamicTestResult> run_block_batched(const adc::pipeline::AdcConfig& base,
+                                                 std::span<const std::uint64_t> seeds,
+                                                 const DynamicTestOptions& options) {
+  adc::batch::BatchConverter conv(base, seeds);
+  const double fs = conv.conversion_rate();
+  const std::size_t n = options.record_length;
+  const adc::dsp::CoherentTone coherent =
+      adc::dsp::coherent_frequency(options.target_fin_hz, fs, n);
+  const double amplitude = options.amplitude_fraction * conv.full_scale_vpp() / 2.0;
+  const adc::dsp::SineSignal tone(amplitude, coherent.frequency_hz);
+
+  adc::dsp::SpectrumOptions spec = options.spectrum;
+  spec.fundamental_bin = coherent.cycles;
+
+  std::vector<DynamicTestResult> out(seeds.size());
+  for (auto& r : out) r.tone = coherent;
+  if (options.averages == 1) {
+    const auto codes = conv.convert(tone, n);
+    for (std::size_t d = 0; d < seeds.size(); ++d) {
+      const auto volts =
+          adc::dsp::codes_to_volts(codes[d], conv.resolution_bits(), conv.full_scale_vpp());
+      out[d].metrics = adc::dsp::analyze_tone(volts, fs, spec);
+    }
+  } else {
+    std::vector<std::vector<std::vector<double>>> records(seeds.size());
+    for (auto& r : records) r.reserve(static_cast<std::size_t>(options.averages));
+    for (int r = 0; r < options.averages; ++r) {
+      const auto codes = conv.convert(tone, n);
+      for (std::size_t d = 0; d < seeds.size(); ++d) {
+        records[d].push_back(
+            adc::dsp::codes_to_volts(codes[d], conv.resolution_bits(), conv.full_scale_vpp()));
+      }
+    }
+    for (std::size_t d = 0; d < seeds.size(); ++d) {
+      out[d].metrics = adc::dsp::analyze_tone_averaged(records[d], fs, spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DynamicTestResult> run_dynamic_test_block(const adc::pipeline::AdcConfig& base,
+                                                      std::span<const std::uint64_t> seeds,
+                                                      const DynamicTestOptions& options) {
+  adc::common::require(!seeds.empty(), "run_dynamic_test_block: need at least one seed");
+  adc::common::require(options.amplitude_fraction > 0.0 && options.amplitude_fraction <= 1.05,
+                       "run_dynamic_test: amplitude fraction outside (0, 1.05]");
+  adc::common::require(options.averages >= 1, "run_dynamic_test: averages must be >= 1");
+
+  const bool batchable = adc::batch::BatchConverter::supports_config(base);
+  std::vector<DynamicTestResult> out;
+  out.reserve(seeds.size());
+  for (std::size_t lo = 0; lo < seeds.size(); lo += adc::batch::kLanes) {
+    const std::size_t count = std::min(adc::batch::kLanes, seeds.size() - lo);
+    const auto chunk = seeds.subspan(lo, count);
+    const bool use_batch = batchable && count >= adc::batch::kMinBatchDies;
+    auto block =
+        use_batch ? run_block_batched(base, chunk, options) : run_block_scalar(base, chunk, options);
+    for (auto& r : block) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<DynamicTestResult> run_dynamic_test_dies(const adc::pipeline::AdcConfig& base,
+                                                     std::span<const std::uint64_t> seeds,
+                                                     const DynamicTestOptions& options,
+                                                     int threads) {
+  adc::common::require(!seeds.empty(), "run_dynamic_test_dies: need at least one seed");
+
+  constexpr std::size_t kLanes = adc::batch::kLanes;
+  const std::size_t num_blocks = (seeds.size() + kLanes - 1) / kLanes;
+
+  adc::runtime::BatchOptions pool;
+  pool.threads = threads > 0 ? static_cast<unsigned>(threads) : 0;
+
+  // One job per kLanes-aligned die block. Blocks are independent, so the
+  // runtime's determinism contract keeps the flattened result in seed order
+  // and bit-identical at any thread count. The trailing ragged block (and
+  // every block when the profile is not fast) takes the scalar fallback
+  // inside run_dynamic_test_block.
+  const auto blocks = adc::runtime::parallel_map<std::vector<DynamicTestResult>>(
+      num_blocks,
+      [&base, &seeds, &options](std::size_t b) {
+        const std::size_t lo = b * adc::batch::kLanes;
+        const std::size_t count = std::min(adc::batch::kLanes, seeds.size() - lo);
+        return run_dynamic_test_block(base, seeds.subspan(lo, count), options);
+      },
+      pool);
+
+  std::vector<DynamicTestResult> out;
+  out.reserve(seeds.size());
+  for (auto& block : blocks) {
+    for (auto& r : block) out.push_back(std::move(r));
+  }
+  return out;
 }
 
 }  // namespace adc::testbench

@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/units.hpp"
 #include "dsp/signal.hpp"
@@ -43,5 +46,27 @@ struct DynamicTestResult {
 /// Run one dynamic measurement on a realized converter.
 [[nodiscard]] DynamicTestResult run_dynamic_test(adc::pipeline::PipelineAdc& adc,
                                                  const DynamicTestOptions& options = {});
+
+/// Run the same dynamic measurement on many fabricated dies (each seed
+/// overrides base.seed). Dies are partitioned into blocks of
+/// adc::batch::kLanes and the blocks distributed over the runtime pool; a
+/// block routes through the batch conversion engine when the configuration
+/// is inside its contract (fast fidelity profile) and the block holds at
+/// least adc::batch::kMinBatchDies dies — otherwise it converts die by die.
+/// Either way each entry of the result is byte-identical to calling
+/// run_dynamic_test on a fresh PipelineAdc fabricated with that seed, in
+/// seed order, at any thread count (0 = runtime default).
+[[nodiscard]] std::vector<DynamicTestResult> run_dynamic_test_dies(
+    const adc::pipeline::AdcConfig& base, std::span<const std::uint64_t> seeds,
+    const DynamicTestOptions& options = {}, int threads = 0);
+
+/// The synchronous building block of run_dynamic_test_dies: measure the
+/// given seeds on the calling thread, kLanes dies at a time, routing each
+/// chunk through the batch engine when supported and large enough. Exposed
+/// so callers that already sit inside a runtime-pool job (the scenario
+/// runner's execute phase) can batch without nesting parallel_map.
+[[nodiscard]] std::vector<DynamicTestResult> run_dynamic_test_block(
+    const adc::pipeline::AdcConfig& base, std::span<const std::uint64_t> seeds,
+    const DynamicTestOptions& options = {});
 
 }  // namespace adc::testbench

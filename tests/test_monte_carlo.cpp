@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/fidelity.hpp"
 #include "pipeline/design.hpp"
 #include "testbench/dynamic_test.hpp"
 
@@ -97,6 +98,77 @@ TEST(MonteCarlo, RejectsBadInput) {
                adc::common::ConfigError);
   opt.num_dies = 1;
   EXPECT_THROW((void)tb::run_monte_carlo(ap::nominal_design(), nullptr, opt),
+               adc::common::ConfigError);
+}
+
+TEST(MonteCarlo, DynamicRunnerMatchesScalarMetricBitExact) {
+  // 10 dies under the fast profile = one full batched block of 8 plus a
+  // 2-die scalar-fallback tail, so one comparison covers both execution
+  // paths of run_dynamic_test_dies against the reference per-die loop.
+  ap::AdcConfig fast = ap::nominal_design();
+  fast.fidelity = adc::common::FidelityProfile::kFast;
+  tb::DynamicTestOptions test;
+  test.record_length = 1 << 11;
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 10;
+  opt.first_seed = 700;
+  const auto batched = tb::run_monte_carlo_dynamic(
+      fast, test, [](const tb::DynamicTestResult& r) { return r.metrics.sndr_db; }, opt);
+  const auto scalar = tb::run_monte_carlo(
+      fast,
+      [&test](ap::PipelineAdc& adc) { return tb::run_dynamic_test(adc, test).metrics.sndr_db; },
+      opt);
+  ASSERT_EQ(batched.values.size(), 10u);
+  EXPECT_EQ(batched.values, scalar.values);  // bitwise: the engine is not a fidelity knob
+}
+
+TEST(MonteCarlo, DynamicRunnerMatchesScalarWithAveraging) {
+  // The averaged path interleaves captures differently (batch: one
+  // convert() per record for all dies; scalar: all records per die) but the
+  // positional noise draws make the per-die record sequences identical.
+  ap::AdcConfig fast = ap::nominal_design();
+  fast.fidelity = adc::common::FidelityProfile::kFast;
+  tb::DynamicTestOptions test;
+  test.record_length = 1 << 10;
+  test.averages = 2;
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 8;
+  opt.first_seed = 900;
+  const auto batched = tb::run_monte_carlo_dynamic(
+      fast, test, [](const tb::DynamicTestResult& r) { return r.metrics.snr_db; }, opt);
+  const auto scalar = tb::run_monte_carlo(
+      fast,
+      [&test](ap::PipelineAdc& adc) { return tb::run_dynamic_test(adc, test).metrics.snr_db; },
+      opt);
+  EXPECT_EQ(batched.values, scalar.values);
+}
+
+TEST(MonteCarlo, BatchedYieldIsThreadCountInvariant) {
+  ap::AdcConfig fast = ap::nominal_design();
+  fast.fidelity = adc::common::FidelityProfile::kFast;
+  tb::DynamicTestOptions test;
+  test.record_length = 1 << 11;
+  const auto metric = [](const tb::DynamicTestResult& r) { return r.metrics.sndr_db; };
+  tb::MonteCarloOptions serial;
+  serial.num_dies = 20;  // two batched blocks + a ragged scalar tail
+  serial.first_seed = 42;
+  serial.threads = 1;
+  tb::MonteCarloOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = tb::run_monte_carlo_dynamic(fast, test, metric, serial);
+  const auto b = tb::run_monte_carlo_dynamic(fast, test, metric, parallel);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_DOUBLE_EQ(a.yield_at_least(63.0), b.yield_at_least(63.0));
+}
+
+TEST(MonteCarlo, DynamicRunnerRejectsBadInput) {
+  const auto metric = [](const tb::DynamicTestResult& r) { return r.metrics.sndr_db; };
+  tb::MonteCarloOptions opt;
+  opt.num_dies = 0;
+  EXPECT_THROW((void)tb::run_monte_carlo_dynamic(ap::nominal_design(), {}, metric, opt),
+               adc::common::ConfigError);
+  opt.num_dies = 1;
+  EXPECT_THROW((void)tb::run_monte_carlo_dynamic(ap::nominal_design(), {}, nullptr, opt),
                adc::common::ConfigError);
 }
 

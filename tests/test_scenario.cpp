@@ -396,3 +396,95 @@ TEST_F(ScenarioTest, CacheIsolatesFidelityProfiles) {
 
   EXPECT_NE(json::dump(fast_cold.report), json::dump(exact_cold.report));
 }
+
+namespace {
+
+/// yield200's shape under the fast profile, shrunk for CI: 16 dies (two
+/// full batch die-blocks), 2k records, same tone, metric and limit.
+const char* kFastYieldSpec = R"({
+  "name": "yield_fast",
+  "stimulus": {
+    "type": "tone",
+    "frequency_hz": 10e6,
+    "amplitude_fraction": 0.985,
+    "record_length": 2048
+  },
+  "measurement": {"type": "yield", "metric": "sndr_db", "limit": 63.0},
+  "die": {"fidelity": "fast"},
+  "seeds": {"first": 42, "count": 16}
+})";
+
+}  // namespace
+
+TEST_F(ScenarioTest, BatchedYieldRunIsBitIdenticalToScalarExecution) {
+  // The acceptance pin of the batch wiring: a fast-profile yield sweep
+  // routed through the batch conversion engine must leave the exact cache
+  // bytes and report bytes a per-job scalar execution produces.
+  const auto spec = parse_spec_text(kFastYieldSpec);
+  const auto plan = plan_scenario(spec);
+  ASSERT_EQ(plan.jobs.size(), 16u);
+
+  // Scalar reference: every job through the public per-job entry point.
+  std::vector<std::optional<json::JsonValue>> scalar(plan.jobs.size());
+  for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+    scalar[i] = ScenarioRunner::execute_job(resolve_job(spec, plan.jobs[i]));
+  }
+  const auto scalar_report = build_report(spec, plan, scalar);
+
+  RunOptions options;
+  options.cache_dir = path("cache");
+  const auto batched = ScenarioRunner(options).run(spec);
+  EXPECT_EQ(batched.computed, 16u);
+  EXPECT_EQ(json::dump(batched.report), json::dump(scalar_report));
+
+  // Same content under the same content addresses: every cached payload
+  // byte-matches the scalar payload for its hash.
+  ResultCache cache(options.cache_dir);
+  for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+    const auto entry = cache.load(plan.hashes[i]);
+    ASSERT_TRUE(entry.has_value()) << "missing cache entry for job " << i;
+    EXPECT_EQ(json::dump(*entry), json::dump(*scalar[i])) << "payload mismatch at job " << i;
+  }
+
+  // The yield summary survived the batched path (it requires every payload
+  // to carry the metric).
+  const auto* summary = batched.report.find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->find("metric")->as_string(), "sndr_db");
+}
+
+TEST_F(ScenarioTest, BatchedYieldHandlesScatteredCacheHitsAndThreadCounts) {
+  // Pre-seeding scattered jobs from the scalar path leaves non-consecutive
+  // misses, so the execute phase forms ragged die-blocks over
+  // non-contiguous seeds; the merged report must still match end to end,
+  // at any thread count.
+  const auto spec = parse_spec_text(kFastYieldSpec);
+  const auto plan = plan_scenario(spec);
+
+  std::vector<std::optional<json::JsonValue>> scalar(plan.jobs.size());
+  for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+    scalar[i] = ScenarioRunner::execute_job(resolve_job(spec, plan.jobs[i]));
+  }
+  const auto scalar_report = build_report(spec, plan, scalar);
+
+  RunOptions scattered;
+  scattered.cache_dir = path("cache-scattered");
+  {
+    ResultCache cache(scattered.cache_dir);
+    cache.ensure_writable();
+    for (const std::size_t i : {1u, 6u, 7u, 12u}) cache.store(plan.hashes[i], *scalar[i]);
+  }
+  const auto resumed = ScenarioRunner(scattered).run(spec);
+  EXPECT_EQ(resumed.cache_hits, 4u);
+  EXPECT_EQ(resumed.computed, 12u);
+  EXPECT_EQ(json::dump(resumed.report), json::dump(scalar_report));
+
+  for (const unsigned threads : {1u, 3u}) {
+    RunOptions options;
+    options.cache_dir = path("cache-t" + std::to_string(threads));
+    options.threads = threads;
+    const auto run = ScenarioRunner(options).run(spec);
+    EXPECT_EQ(json::dump(run.report), json::dump(scalar_report))
+        << "report drifted at threads=" << threads;
+  }
+}

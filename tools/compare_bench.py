@@ -19,6 +19,13 @@ With --json the verdict is emitted as a machine-readable document on stdout
 (status, per-benchmark rows, threshold) for CI artifact upload; the human
 table moves to stderr.
 
+Besides the regression check, the report surfaces *scalar/batch throughput
+pairs*: a benchmark named `<Base>Batch[/arg]` is paired with `<Base>[/arg]`
+and their items_per_second ratio is printed (and emitted under
+"throughput_pairs" with --json) for both files. This is the batch
+conversion engine's speedup trajectory — CI uploads it with every bench
+artifact.
+
 Exit status: 0 when nothing regressed (or there was no baseline), 1 when at
 least one benchmark did, 2 on malformed current input. CI wires this as a
 *non-blocking* report: the job prints the table and the verdict but a
@@ -52,6 +59,51 @@ def load_benchmarks(path: str) -> dict[str, dict] | None:
         if name and "real_time" in entry:
             out[name] = entry
     return out
+
+
+def throughput_pairs(benchmarks: dict[str, dict]) -> list[dict]:
+    """Pair `<Base>Batch[/arg]` rows with `<Base>[/arg]` by items_per_second.
+
+    Returns one row per pair found: the scalar and batch throughputs and
+    their ratio (batch / scalar — the batch engine's aggregate speedup).
+    Rows missing items_per_second on either side are skipped.
+    """
+    pairs = []
+    for name, entry in sorted(benchmarks.items()):
+        head, _, arg = name.partition("/")
+        if not head.endswith("Batch"):
+            continue
+        scalar_name = head[: -len("Batch")] + (f"/{arg}" if arg else "")
+        scalar = benchmarks.get(scalar_name)
+        if scalar is None:
+            continue
+        batch_ips = entry.get("items_per_second")
+        scalar_ips = scalar.get("items_per_second")
+        if not batch_ips or not scalar_ips:
+            continue
+        pairs.append(
+            {
+                "scalar": scalar_name,
+                "batch": name,
+                "scalar_items_per_second": scalar_ips,
+                "batch_items_per_second": batch_ips,
+                "ratio": batch_ips / scalar_ips,
+            }
+        )
+    return pairs
+
+
+def print_pairs(label: str, pairs: list[dict], report) -> None:
+    if not pairs:
+        return
+    print(f"\nscalar/batch throughput pairs ({label}):", file=report)
+    width = max(len(p["batch"]) for p in pairs)
+    for p in pairs:
+        print(
+            f"  {p['batch']:<{width}}  {p['scalar_items_per_second'] / 1e6:8.2f} -> "
+            f"{p['batch_items_per_second'] / 1e6:8.2f} M items/s   x{p['ratio']:.2f}",
+            file=report,
+        )
 
 
 def fmt_time(ns: float) -> str:
@@ -91,6 +143,8 @@ def main() -> int:
         print(f"compare_bench: no iteration benchmarks in {args.current}", file=sys.stderr)
         return 2
 
+    curr_pairs = throughput_pairs(curr)
+
     base = load_benchmarks(args.baseline)
     if base is None or not base:
         reason = "missing or unreadable" if base is None else "empty"
@@ -99,6 +153,7 @@ def main() -> int:
             "nothing to compare against (first run?) — skipping comparison",
             file=report,
         )
+        print_pairs("current", curr_pairs, report)
         emit_json(
             {
                 "status": "no_baseline",
@@ -106,6 +161,7 @@ def main() -> int:
                 "current": args.current,
                 "threshold": args.threshold,
                 "benchmarks": [],
+                "throughput_pairs": curr_pairs,
             }
         )
         return 0
@@ -163,6 +219,10 @@ def main() -> int:
     if only_curr:
         print(f"only in current:  {', '.join(only_curr)}", file=report)
 
+    base_pairs = throughput_pairs(base)
+    print_pairs("baseline", base_pairs, report)
+    print_pairs("current", curr_pairs, report)
+
     emit_json(
         {
             "status": "regression" if regressions else "ok",
@@ -172,6 +232,8 @@ def main() -> int:
             "benchmarks": rows,
             "only_in_baseline": only_base,
             "only_in_current": only_curr,
+            "baseline_throughput_pairs": base_pairs,
+            "throughput_pairs": curr_pairs,
         }
     )
 

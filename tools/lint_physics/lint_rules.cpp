@@ -29,8 +29,8 @@ bool any_of_ids(const std::array<std::string_view, N>& set, std::string_view tex
 const std::vector<std::string>& known_layers() {
   static const std::vector<std::string> layers{
       "common",  "analog",      "clocking", "dsp",    "digital",  "runtime", "bias",
-      "pipeline", "power",      "twostep",  "survey", "calibration", "testbench", "scenario",
-      "service"};
+      "pipeline", "batch",      "power",    "twostep", "survey", "calibration", "testbench",
+      "scenario", "service"};
   return layers;
 }
 
@@ -87,12 +87,13 @@ const LayerDag& default_layer_dag() {
       {"runtime", {"common"}},
       {"bias", {"common", "analog"}},
       {"pipeline", {"common", "analog", "clocking", "bias", "digital", "dsp"}},
+      {"batch", {"common", "analog", "dsp", "pipeline"}},
       {"power", {"common", "pipeline"}},
       {"twostep", {"common", "analog", "clocking", "dsp"}},
       {"calibration", {"common", "digital", "pipeline"}},
       {"survey", {"common", "power"}},
-      {"testbench", {"common", "dsp", "pipeline", "runtime"}},
-      {"scenario", {"common", "pipeline", "power", "runtime", "testbench"}},
+      {"testbench", {"common", "batch", "dsp", "pipeline", "runtime"}},
+      {"scenario", {"common", "batch", "pipeline", "power", "runtime", "testbench"}},
       {"service", {"common", "runtime", "scenario"}},
   }};
   return dag;
@@ -196,9 +197,9 @@ struct FileContext {
   bool in_src = false;
   bool is_header = false;
   bool is_rng_facade = false;     // src/common/random.* defines the facade
-  bool in_math_layer = false;     // src/analog | src/pipeline (profile-math)
+  bool in_math_layer = false;     // src/analog | src/pipeline | src/batch (profile-math)
   bool is_exact_profile = false;  // transient solver: direct libm is the contract
-  bool in_alloc_layer = false;    // src/analog | src/pipeline | src/digital
+  bool in_alloc_layer = false;    // src/analog | src/pipeline | src/batch | src/digital
   bool in_clock_exempt = false;   // src/runtime (telemetry) and src/service
                                   // (socket/poll deadlines) may read clocks
   std::string layer;              // src/<layer>, empty outside src or unknown
@@ -212,9 +213,11 @@ FileContext make_context(const fs::path& path) {
   ctx.is_rng_facade = path_contains(path, "common/random.");
   const bool in_analog = path_contains(path, "src/analog/");
   const bool in_pipeline = path_contains(path, "src/pipeline/");
-  ctx.in_math_layer = in_analog || in_pipeline;
+  const bool in_batch = path_contains(path, "src/batch/");
+  ctx.in_math_layer = in_analog || in_pipeline || in_batch;
   ctx.is_exact_profile = path_contains(path, "analog/transient.");
-  ctx.in_alloc_layer = in_analog || in_pipeline || path_contains(path, "src/digital/");
+  ctx.in_alloc_layer =
+      in_analog || in_pipeline || in_batch || path_contains(path, "src/digital/");
   ctx.in_clock_exempt =
       path_contains(path, "src/runtime/") || path_contains(path, "src/service/");
   ctx.layer = layer_of(path);

@@ -11,6 +11,18 @@
 #                       (the JSON then carries build_type=<type> in its
 #                       context block so the numbers cannot be mistaken for
 #                       a trajectory point)
+#   ADC_BENCH_ALLOW_CPU_SCALING=1  accept results recorded with CPU
+#                       frequency scaling enabled (laptop/dev boxes); the
+#                       post-run verification fails otherwise
+#
+# After the run the emitted JSON context is verified — not just the build
+# tree that was *asked for*, but what the binary *reported about itself*:
+# simulator_build_type must be "release" (an NDEBUG-derived custom context;
+# Debian's libbenchmark always self-reports library_build_type "debug"
+# regardless of how this repo was compiled, so the stock field cannot be
+# trusted), cpu_scaling_enabled must be false, and the batch_isa context
+# must be present. A mismatch exits non-zero so a poisoned trajectory
+# artifact can never be committed silently.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,5 +62,47 @@ fi
   --benchmark_filter="${ADC_BENCH_FILTER:-.*}" \
   --benchmark_counters_tabular=true \
   ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}
+
+# Post-run context verification: trust what the binary emitted, not what we
+# requested. Exits non-zero on mismatch so CI and baseline regeneration can
+# never keep a result recorded under the wrong conditions.
+EXPECT_RELEASE=1
+[ "${ADC_BENCH_ALLOW_NONRELEASE:-0}" = "1" ] && EXPECT_RELEASE=0
+ALLOW_SCALING="${ADC_BENCH_ALLOW_CPU_SCALING:-0}"
+python3 - "$OUT" "$EXPECT_RELEASE" "$ALLOW_SCALING" <<'PYEOF'
+import json, sys
+
+path, expect_release, allow_scaling = sys.argv[1], sys.argv[2] == "1", sys.argv[3] == "1"
+try:
+    ctx = json.load(open(path, encoding="utf-8"))["context"]
+except (OSError, KeyError, json.JSONDecodeError) as e:
+    sys.exit(f"run_bench.sh: {path} is not benchmark JSON with a context block: {e}")
+
+errors = []
+build = ctx.get("simulator_build_type")
+if expect_release and build != "release":
+    errors.append(
+        f"simulator_build_type is {build!r}, want 'release' — the binary itself "
+        "was compiled with assertions on; numbers are not trajectory-comparable"
+    )
+if ctx.get("cpu_scaling_enabled", False) and not allow_scaling:
+    errors.append(
+        "cpu_scaling_enabled is true — frequency governor will skew timings "
+        "(set ADC_BENCH_ALLOW_CPU_SCALING=1 to record annotated dev numbers)"
+    )
+if "batch_isa" not in ctx:
+    errors.append("batch_isa context missing — batch dispatch did not report its tier")
+
+if errors:
+    print(f"run_bench.sh: POST-RUN CONTEXT VERIFICATION FAILED for {path}:", file=sys.stderr)
+    for e in errors:
+        print(f"  - {e}", file=sys.stderr)
+    sys.exit(4)
+print(
+    f"run_bench.sh: context verified (simulator_build_type={build}, "
+    f"cpu_scaling_enabled={ctx.get('cpu_scaling_enabled')}, "
+    f"batch_isa={ctx.get('batch_isa')})"
+)
+PYEOF
 
 echo "run_bench.sh: wrote $OUT"
