@@ -25,21 +25,64 @@
 /// Thread safety: `load`/`store` may be called concurrently from pool
 /// workers; distinct hashes never collide on a temporary file name and the
 /// session counters are atomic.
+///
+/// Claim protocol (the fleet coordination substrate, docs/FLEET.md):
+/// a *claim* is a sidecar `<root>/<xx>/<hash>.claim` file recording an owner
+/// id and a heartbeat timestamp. `try_claim` creates it with O_CREAT|O_EXCL,
+/// so exactly one of N racing processes acquires a fresh claim; a claim
+/// whose heartbeat is older than the caller's lease is *stale* (its owner
+/// crashed or stalled) and is stolen by atomically renaming a replacement
+/// over it. Claims are an optimization that minimizes duplicate computation
+/// — correctness never depends on them: jobs are pure and content-addressed,
+/// so the worst outcome of the (tiny) steal race is two workers computing
+/// identical bytes for the same hash. Timestamps are supplied by the caller
+/// (src/fleet owns the clock; this layer stays deterministic).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 
 namespace adc::scenario {
 
-/// Disk usage summary from walking the cache root.
+/// Disk usage summary from walking the cache root. `tmp_files` and
+/// `claim_files` count the sidecar litter a killed process can leave behind
+/// (`store` temporaries that never got renamed, claims that were never
+/// released); both are invisible to `entries` and reclaimed by
+/// `clear_stale`.
 struct CacheStats {
   std::uint64_t entries = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t tmp_files = 0;
+  std::uint64_t claim_files = 0;
+};
+
+/// Decoded contents of one claim sidecar.
+struct ClaimInfo {
+  std::string owner;            ///< opaque worker identity (e.g. host:pid)
+  std::uint64_t heartbeat_ms = 0;  ///< wall-clock ms, written by the owner
+};
+
+/// A claim observed while walking the cache root (fleet-status view).
+struct ClaimRecord {
+  std::string hash;
+  ClaimInfo info;
+};
+
+/// Outcome of `try_claim`.
+enum class ClaimOutcome {
+  kAcquired,  ///< the caller now owns the claim (fresh, re-entrant or stolen)
+  kBusy,      ///< another owner holds a claim whose lease has not expired
+};
+
+/// Files removed by `clear_stale`.
+struct StaleSweep {
+  std::uint64_t tmp_removed = 0;
+  std::uint64_t claims_removed = 0;
 };
 
 class ResultCache {
@@ -67,8 +110,44 @@ class ResultCache {
   /// Atomically persist `payload` under `hash` (write temp + rename).
   void store(const std::string& hash, const adc::common::json::JsonValue& payload);
 
-  /// Walk the cache root and summarize the entries on disk.
+  /// Walk the cache root and summarize the entries on disk (plus orphaned
+  /// `.tmp`/`.claim` sidecars; the `fleet/` manifest subdirectory is not
+  /// part of the cache and is skipped).
   [[nodiscard]] CacheStats stats() const;
+
+  // --- Claim / lease protocol (fleet coordination, docs/FLEET.md) ---------
+
+  /// Try to acquire the claim on `hash` for `owner` at wall time `now_ms`.
+  /// Exactly one of N concurrent callers with distinct owners acquires a
+  /// fresh claim; a claim already held by `owner` is refreshed (re-entrant);
+  /// a claim whose heartbeat is older than `lease_ms` is stolen. Returns
+  /// kBusy when another owner's claim is still within its lease.
+  ClaimOutcome try_claim(const std::string& hash, const std::string& owner,
+                         std::uint64_t now_ms, std::uint64_t lease_ms);
+
+  /// Re-stamp the heartbeat of a claim held by `owner`. Returns false when
+  /// the claim is gone or owned by someone else (it was stolen after the
+  /// lease expired) — the caller should treat the job as forfeited.
+  bool refresh_claim(const std::string& hash, const std::string& owner,
+                     std::uint64_t now_ms);
+
+  /// Delete the claim on `hash` if `owner` holds it (no-op otherwise).
+  void release_claim(const std::string& hash, const std::string& owner);
+
+  /// Decode the claim sidecar for `hash`; nullopt when absent or corrupt
+  /// (try_claim treats a corrupt claim as stale).
+  [[nodiscard]] std::optional<ClaimInfo> read_claim(const std::string& hash) const;
+
+  /// Every claim sidecar currently on disk, sorted by hash (the
+  /// `adc_fleet status` view of who is working on what).
+  [[nodiscard]] std::vector<ClaimRecord> claims() const;
+
+  /// Remove orphaned sidecars: every `*.tmp*` store temporary (a live store
+  /// holds one for well under a millisecond, so anything an admin command
+  /// observes is litter from a killed writer) and every claim whose
+  /// heartbeat is staler than `lease_ms` at `now_ms`. Fresh claims — a live
+  /// fleet's working set — survive, so the sweep is safe during a run.
+  StaleSweep clear_stale(std::uint64_t now_ms, std::uint64_t lease_ms);
 
   /// Machine-readable statistics: on-disk totals plus this instance's
   /// session counters. The shared shape parsed by the service `status`
@@ -76,6 +155,7 @@ class ResultCache {
   ///
   /// ```json
   /// {"cache_dir": "...", "entries": 3, "bytes": 1234,
+  ///  "tmp_files": 0, "claim_files": 0,
   ///  "session": {"hits": 0, "misses": 0, "evictions": 0, "stores": 0}}
   /// ```
   [[nodiscard]] adc::common::json::JsonValue stats_document() const;
@@ -91,6 +171,9 @@ class ResultCache {
 
  private:
   [[nodiscard]] std::string entry_path(const std::string& hash) const;
+  [[nodiscard]] std::string claim_path(const std::string& hash) const;
+  /// Atomically replace (or create) the claim file via write-temp + rename.
+  void write_claim(const std::string& hash, const ClaimInfo& info);
 
   std::string root_;
   std::atomic<std::uint64_t> hits_{0};

@@ -134,9 +134,10 @@ void write_text_file(const std::string& path, const std::string& text) {
   adc::common::require(out.good(), "ScenarioRunner: write failed for " + path);
 }
 
-/// A maximal run of consecutive cache misses the execute phase computes as
-/// one pool job. Batched units hold up to adc::batch::kLanes jobs that
-/// differ only in seed and route through one BatchConverter die-block.
+/// A maximal run of consecutive candidate cache misses the execute phase
+/// computes as one pool job. Batched units hold up to adc::batch::kLanes
+/// jobs that differ only in seed and route through one BatchConverter
+/// die-block.
 struct MissUnit {
   std::size_t first = 0;  ///< position in the misses vector
   std::size_t count = 1;
@@ -289,6 +290,137 @@ std::string report_csv(const json::JsonValue& report) {
   return csv;
 }
 
+ReportPaths write_report_files(const json::JsonValue& report, const std::string& name,
+                               const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  adc::common::require(!ec, "write_report_files: cannot create " + dir);
+  ReportPaths paths;
+  paths.json_path = dir + "/" + name + "_report.json";
+  write_text_file(paths.json_path, json::dump(report));
+  paths.csv_path = dir + "/" + name + "_report.csv";
+  write_text_file(paths.csv_path, report_csv(report));
+  return paths;
+}
+
+ExecuteOutcome execute_plan(const ScenarioSpec& spec, const ScenarioPlan& plan,
+                            std::vector<std::optional<json::JsonValue>>& payloads,
+                            const ExecuteOptions& options) {
+  adc::common::require(payloads.size() == plan.jobs.size(),
+                       "execute_plan: payloads not aligned with the plan");
+  const std::vector<JobPoint>& jobs = plan.jobs;
+  const std::vector<std::string>& hashes = plan.hashes;
+  ExecuteOutcome outcome;
+
+  // Candidates: every missing payload the caller admits (a fleet worker
+  // passes its shard membership here; the batch runner passes nothing).
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (payloads[i].has_value()) continue;
+    if (options.candidate && !options.candidate(i)) continue;
+    misses.push_back(i);
+  }
+
+  // Apply the interruption budget: completed points stay cached, the rest
+  // are left for the next invocation.
+  if (options.max_jobs != 0 && misses.size() > options.max_jobs) {
+    outcome.skipped = misses.size() - options.max_jobs;
+    misses.resize(options.max_jobs);
+  }
+
+  // Group the misses into execute units. For single-tone dynamic/yield
+  // sweeps under the fast profile, consecutive misses at the same grid
+  // point differ only in seed (seeds are innermost in the expansion), so up
+  // to adc::batch::kLanes of them form one die-block for the batch
+  // conversion engine. Everything else — exact profile, two-tone, static,
+  // power, ramp — stays one job per unit, exactly the pre-batch behavior.
+  std::vector<MissUnit> units;
+  units.reserve(misses.size());
+  if (batchable_shape(spec)) {
+    std::size_t k = 0;
+    while (k < misses.size()) {
+      std::size_t j = k + 1;
+      while (j < misses.size() && j - k < adc::batch::kLanes &&
+             same_grid_point(jobs[misses[j]], jobs[misses[k]])) {
+        ++j;
+      }
+      units.push_back({k, j - k});
+      k = j;
+    }
+  } else {
+    for (std::size_t k = 0; k < misses.size(); ++k) units.push_back({k, 1});
+  }
+
+  // Compute the units in parallel, one pool job each. Each unit persists
+  // its payloads before the batch completes, which is what makes
+  // interrupted runs resumable. Units are index-keyed pure functions, so
+  // results stay bit-identical at any thread count; the batch engine's own
+  // contract keeps them bit-identical to the per-job path. The claim gate
+  // (hooks.acquire) runs immediately before a job would be computed, so a
+  // claim is held only while its job is actually in flight.
+  if (!units.empty()) {
+    adc::runtime::BatchStats stats;
+    adc::runtime::BatchOptions batch;
+    batch.threads = options.threads;
+    batch.stats = &stats;
+    auto computed = adc::runtime::parallel_map<std::vector<std::optional<json::JsonValue>>>(
+        units.size(),
+        [&](std::size_t u) {
+          const MissUnit& unit = units[u];
+          std::vector<std::optional<json::JsonValue>> out(unit.count);
+          // Claim the unit's jobs; unclaimed slots stay null and are left
+          // to the owner that holds them.
+          std::vector<std::size_t> mine;
+          mine.reserve(unit.count);
+          for (std::size_t t = 0; t < unit.count; ++t) {
+            const std::size_t index = misses[unit.first + t];
+            if (!options.hooks.acquire || options.hooks.acquire(index, hashes[index])) {
+              mine.push_back(t);
+            }
+          }
+          if (mine.empty()) return out;
+          const ResolvedJob first =
+              resolve_job(spec, jobs[misses[unit.first + mine.front()]]);
+          if (mine.size() >= adc::batch::kMinBatchDies &&
+              adc::batch::BatchConverter::supports_config(first.config)) {
+            std::vector<std::uint64_t> seeds;
+            seeds.reserve(mine.size());
+            for (const std::size_t t : mine) {
+              seeds.push_back(jobs[misses[unit.first + t]].seed);
+            }
+            const auto results = adc::testbench::run_dynamic_test_block(
+                first.config, seeds, dynamic_options(first));
+            for (std::size_t m = 0; m < mine.size(); ++m) {
+              out[mine[m]] = dynamic_payload(results[m]);
+            }
+          } else {
+            for (const std::size_t t : mine) {
+              out[t] = ScenarioRunner::execute_job(
+                  resolve_job(spec, jobs[misses[unit.first + t]]));
+            }
+          }
+          for (const std::size_t t : mine) {
+            const std::size_t index = misses[unit.first + t];
+            if (options.cache != nullptr) options.cache->store(hashes[index], *out[t]);
+            if (options.hooks.stored) options.hooks.stored(index, hashes[index]);
+          }
+          return out;
+        },
+        batch);
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      for (std::size_t t = 0; t < units[u].count; ++t) {
+        if (computed[u][t].has_value()) {
+          payloads[misses[units[u].first + t]] = std::move(computed[u][t]);
+          ++outcome.computed;
+        } else {
+          ++outcome.claimed_elsewhere;
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
 ScenarioRunner::ScenarioRunner(RunOptions options) : options_(std::move(options)) {}
 
 json::JsonValue ScenarioRunner::execute_job(const ResolvedJob& job) {
@@ -338,94 +470,31 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
       for (std::size_t i = 0; i < jobs.size(); ++i) payloads[i] = cache.load(hashes[i]);
     }
   }
-  std::vector<std::size_t> misses;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (!payloads[i].has_value()) misses.push_back(i);
+  std::size_t miss_count = 0;
+  for (const auto& payload : payloads) {
+    if (!payload.has_value()) ++miss_count;
   }
-  result.cache_hits = jobs.size() - misses.size();
+  result.cache_hits = jobs.size() - miss_count;
 
-  // Apply the interruption budget: completed points stay cached, the rest
-  // are left for the next invocation.
-  if (options_.max_jobs != 0 && misses.size() > options_.max_jobs) {
-    result.skipped = misses.size() - options_.max_jobs;
-    misses.resize(options_.max_jobs);
-  }
-
-  // Group the misses into execute units. For single-tone dynamic/yield
-  // sweeps under the fast profile, consecutive misses at the same grid
-  // point differ only in seed (seeds are innermost in the expansion), so up
-  // to adc::batch::kLanes of them form one die-block for the batch
-  // conversion engine. Everything else — exact profile, two-tone, static,
-  // power, ramp — stays one job per unit, exactly the pre-batch behavior.
-  std::vector<MissUnit> units;
-  units.reserve(misses.size());
-  if (batchable_shape(spec)) {
-    std::size_t k = 0;
-    while (k < misses.size()) {
-      std::size_t j = k + 1;
-      while (j < misses.size() && j - k < adc::batch::kLanes &&
-             same_grid_point(jobs[misses[j]], jobs[misses[k]])) {
-        ++j;
-      }
-      units.push_back({k, j - k});
-      k = j;
-    }
-  } else {
-    for (std::size_t k = 0; k < misses.size(); ++k) units.push_back({k, 1});
-  }
-
-  // Compute the misses in parallel, one pool job per unit. Each unit
-  // persists its payloads before the batch completes, which is what makes
-  // interrupted runs resumable. Units are index-keyed pure functions, so
-  // results stay bit-identical at any thread count; the batch engine's own
-  // contract keeps them bit-identical to the per-job path.
+  // Compute the misses through the shared execute phase — the same path a
+  // fleet worker takes, so sharded and single-process runs produce the same
+  // cache bytes and the same report.
   result.pool_before = adc::runtime::global_pool().counters();
   {
-    auto phase = manifest.phase("execute", misses.size());
-    if (!units.empty()) {
-      adc::runtime::BatchStats stats;
-      adc::runtime::BatchOptions batch;
-      batch.threads = options_.threads;
-      batch.stats = &stats;
-      auto computed = adc::runtime::parallel_map<std::vector<json::JsonValue>>(
-          units.size(),
-          [&](std::size_t u) {
-            const MissUnit& unit = units[u];
-            std::vector<json::JsonValue> out;
-            out.reserve(unit.count);
-            const ResolvedJob first = resolve_job(spec, jobs[misses[unit.first]]);
-            if (unit.count >= adc::batch::kMinBatchDies &&
-                adc::batch::BatchConverter::supports_config(first.config)) {
-              std::vector<std::uint64_t> seeds;
-              seeds.reserve(unit.count);
-              for (std::size_t t = 0; t < unit.count; ++t) {
-                seeds.push_back(jobs[misses[unit.first + t]].seed);
-              }
-              const auto results = adc::testbench::run_dynamic_test_block(
-                  first.config, seeds, dynamic_options(first));
-              for (const auto& r : results) out.push_back(dynamic_payload(r));
-            } else {
-              for (std::size_t t = 0; t < unit.count; ++t) {
-                out.push_back(execute_job(resolve_job(spec, jobs[misses[unit.first + t]])));
-              }
-            }
-            if (options_.use_cache) {
-              for (std::size_t t = 0; t < unit.count; ++t) {
-                cache.store(hashes[misses[unit.first + t]], out[t]);
-              }
-            }
-            return out;
-          },
-          batch);
-      for (std::size_t u = 0; u < units.size(); ++u) {
-        for (std::size_t t = 0; t < units[u].count; ++t) {
-          payloads[misses[units[u].first + t]] = std::move(computed[u][t]);
-        }
-      }
-    }
+    auto phase = manifest.phase(
+        "execute", options_.max_jobs != 0 ? std::min(miss_count, options_.max_jobs)
+                                          : miss_count);
+    ExecuteOptions execute;
+    execute.threads = options_.threads;
+    execute.max_jobs = options_.max_jobs;
+    execute.cache = options_.use_cache ? &cache : nullptr;
+    execute.hooks = options_.hooks;
+    const ExecuteOutcome outcome = execute_plan(spec, plan, payloads, execute);
+    result.computed = outcome.computed;
+    result.skipped = outcome.skipped;
+    result.claimed_elsewhere = outcome.claimed_elsewhere;
   }
   result.pool_after = adc::runtime::global_pool().counters();
-  result.computed = misses.size();
   result.cache_evictions = cache.evictions();
 
   // Build the deterministic report through the shared builder — the same
@@ -435,13 +504,10 @@ RunResult ScenarioRunner::run(const ScenarioSpec& spec) {
     result.report = build_report(spec, plan, payloads);
 
     if (!options_.report_dir.empty()) {
-      std::error_code ec;
-      fs::create_directories(options_.report_dir, ec);
-      adc::common::require(!ec, "ScenarioRunner: cannot create " + options_.report_dir);
-      result.report_json_path = options_.report_dir + "/" + spec.name + "_report.json";
-      write_text_file(result.report_json_path, json::dump(result.report));
-      result.report_csv_path = options_.report_dir + "/" + spec.name + "_report.csv";
-      write_text_file(result.report_csv_path, report_csv(result.report));
+      const ReportPaths paths =
+          write_report_files(result.report, spec.name, options_.report_dir);
+      result.report_json_path = paths.json_path;
+      result.report_csv_path = paths.csv_path;
     }
   }
 

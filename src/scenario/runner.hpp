@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +33,20 @@
 #include "scenario/spec.hpp"
 
 namespace adc::scenario {
+
+/// Gate and notification hooks threaded through the execute phase. They are
+/// how the fleet engine (src/fleet/) plugs its claim protocol into the
+/// shared runner: `acquire` is consulted once per missed job immediately
+/// before it would be computed — returning false skips the job (another
+/// process owns it; it is counted as claimed-elsewhere and left null), and
+/// `stored` fires after a computed payload has been persisted. Both run on
+/// pool worker threads and must be thread-safe. Claim state never reaches
+/// payload bytes, so reports stay deterministic regardless of which process
+/// computes which job.
+struct ExecuteHooks {
+  std::function<bool(std::size_t index, const std::string& hash)> acquire;
+  std::function<void(std::size_t index, const std::string& hash)> stored;
+};
 
 /// Options for one scenario run.
 struct RunOptions {
@@ -48,6 +63,8 @@ struct RunOptions {
   std::size_t max_jobs = 0;
   /// Probe/fill the cache (false = force recomputation, nothing stored).
   bool use_cache = true;
+  /// Fleet claim hooks (empty = compute every miss unconditionally).
+  ExecuteHooks hooks;
 };
 
 /// Outcome of one scenario run.
@@ -57,6 +74,9 @@ struct RunResult {
   std::size_t computed = 0;
   /// Jobs left uncomputed by the `max_jobs` budget.
   std::size_t skipped = 0;
+  /// Jobs left uncomputed because `hooks.acquire` declined them (another
+  /// fleet worker holds their claim).
+  std::size_t claimed_elsewhere = 0;
   /// The deterministic report document (no timings or counters, so repeat
   /// runs produce identical bytes).
   adc::common::json::JsonValue report;
@@ -103,6 +123,55 @@ struct ScenarioPlan {
 /// skipped). Derives everything from the report itself so remote clients
 /// reproduce the batch CLI's CSV byte-for-byte.
 [[nodiscard]] std::string report_csv(const adc::common::json::JsonValue& report);
+
+/// Write `<name>_report.json` and `<name>_report.csv` into `dir` (created
+/// if needed) and return the two paths. One writer shared by the batch
+/// runner and the fleet merge, so their files are byte-identical by
+/// construction.
+struct ReportPaths {
+  std::string json_path;
+  std::string csv_path;
+};
+ReportPaths write_report_files(const adc::common::json::JsonValue& report,
+                               const std::string& name, const std::string& dir);
+
+/// Options of the shared execute phase (see execute_plan).
+struct ExecuteOptions {
+  /// Worker threads (0 = runtime default resolution).
+  unsigned threads = 0;
+  /// Compute at most this many jobs (0 = unlimited); the remainder is
+  /// reported in ExecuteOutcome::skipped.
+  std::size_t max_jobs = 0;
+  /// When set, every computed payload is persisted here before the batch
+  /// completes (the resume guarantee). Null = compute only.
+  ResultCache* cache = nullptr;
+  /// Restrict execution to a subset of the plan (a fleet worker's shard);
+  /// null = every missing payload is a candidate. Called on the caller's
+  /// thread during unit formation.
+  std::function<bool(std::size_t index)> candidate;
+  /// Claim gate + store notification (see ExecuteHooks).
+  ExecuteHooks hooks;
+};
+
+/// Tally of one execute_plan call.
+struct ExecuteOutcome {
+  std::size_t computed = 0;
+  std::size_t skipped = 0;            ///< left for later by the max_jobs budget
+  std::size_t claimed_elsewhere = 0;  ///< declined by hooks.acquire
+};
+
+/// Compute the plan's missing payloads in place: every index where
+/// `payloads[i]` is empty and `candidate(i)` holds is grouped into execute
+/// units (consecutive same-grid-point jobs batch through the SoA conversion
+/// engine when the spec shape allows it), computed on the shared pool, and
+/// written back to `payloads[i]` — persisting each payload through `cache`
+/// as it completes. This is the single execute path shared by
+/// ScenarioRunner::run and the fleet worker (src/fleet/worker.cpp), so a
+/// sharded multi-process sweep computes exactly the bytes a single-process
+/// run would.
+ExecuteOutcome execute_plan(const ScenarioSpec& spec, const ScenarioPlan& plan,
+                            std::vector<std::optional<adc::common::json::JsonValue>>& payloads,
+                            const ExecuteOptions& options);
 
 /// Expands, executes and reports scenarios. Stateless between runs apart
 /// from the on-disk cache.

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
@@ -314,6 +316,8 @@ TEST_F(ScenarioTest, CacheStatsDocumentIsMachineReadable) {
   EXPECT_EQ(doc.find("cache_dir")->as_string(), cache.root());
   EXPECT_EQ(doc.find("entries")->as_uint64(), 4u);
   EXPECT_GT(doc.find("bytes")->as_uint64(), 0u);
+  EXPECT_EQ(doc.find("tmp_files")->as_uint64(), 0u);
+  EXPECT_EQ(doc.find("claim_files")->as_uint64(), 0u);
   const auto* session = doc.find("session");
   ASSERT_NE(session, nullptr);
   EXPECT_EQ(session->find("misses")->as_uint64(), 1u);
@@ -415,6 +419,155 @@ const char* kFastYieldSpec = R"({
 })";
 
 }  // namespace
+
+TEST_F(ScenarioTest, ClaimLifecycleAndStaleSteal) {
+  ResultCache cache(path("cache"));
+  cache.ensure_writable();
+  const std::string hash = "00c0ffee00c0ffee";
+
+  // Fresh acquisition; a second owner inside the lease is busy; the holder
+  // re-acquires (re-entrant) and refreshes.
+  EXPECT_EQ(cache.try_claim(hash, "a", 1000, 500), ClaimOutcome::kAcquired);
+  EXPECT_EQ(cache.try_claim(hash, "b", 1200, 500), ClaimOutcome::kBusy);
+  EXPECT_EQ(cache.try_claim(hash, "a", 1300, 500), ClaimOutcome::kAcquired);
+  EXPECT_TRUE(cache.refresh_claim(hash, "a", 1400));
+  EXPECT_FALSE(cache.refresh_claim(hash, "b", 1400));
+  const auto info = cache.read_claim(hash);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->owner, "a");
+  EXPECT_EQ(info->heartbeat_ms, 1400u);
+
+  // Past the lease the claim is stale: a new owner steals it, and the old
+  // owner's refresh fails (it has forfeited the job).
+  EXPECT_EQ(cache.try_claim(hash, "b", 2000, 500), ClaimOutcome::kAcquired);
+  EXPECT_FALSE(cache.refresh_claim(hash, "a", 2100));
+  EXPECT_TRUE(cache.refresh_claim(hash, "b", 2100));
+
+  // Release by a non-owner is a no-op; release by the owner removes it.
+  cache.release_claim(hash, "a");
+  EXPECT_TRUE(cache.read_claim(hash).has_value());
+  cache.release_claim(hash, "b");
+  EXPECT_FALSE(cache.read_claim(hash).has_value());
+}
+
+TEST_F(ScenarioTest, ClaimContentionHasExactlyOneWinner) {
+  // N threads race try_claim on the same hash with distinct owners: the
+  // O_CREAT|O_EXCL discipline admits exactly one.
+  ResultCache cache(path("cache"));
+  cache.ensure_writable();
+  const std::string hash = "00000000deadbeef";
+  constexpr int kRacers = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> racers;
+  racers.reserve(kRacers);
+  for (int r = 0; r < kRacers; ++r) {
+    racers.emplace_back([&cache, &winners, &hash, r] {
+      if (cache.try_claim(hash, "owner" + std::to_string(r), 1000, 60000) ==
+          ClaimOutcome::kAcquired) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : racers) t.join();
+  EXPECT_EQ(winners.load(), 1);
+  const auto claims = cache.claims();
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].hash, hash);
+}
+
+TEST_F(ScenarioTest, RacingRunnersComputeEachJobExactlyOnce) {
+  // Two concurrent runs of the same spec over one cache, each gating its
+  // execute phase on claims: every job is computed by exactly one of them,
+  // and both end with the identical (complete or completable) cache bytes.
+  const auto spec = parse_spec_text(kSmallSpec);
+  const std::string cache_dir = path("cache");
+  ResultCache claims(cache_dir);
+  claims.ensure_writable();
+
+  auto run_claimed = [&](const std::string& owner) {
+    RunOptions options;
+    options.cache_dir = cache_dir;
+    options.hooks.acquire = [&claims, owner](std::size_t, const std::string& hash) {
+      // Claims are held for the test's duration (never released), so the
+      // loser can never recompute a winner's job.
+      return claims.try_claim(hash, owner, 1000, 60000) == ClaimOutcome::kAcquired;
+    };
+    return ScenarioRunner(options).run(spec);
+  };
+
+  RunResult a;
+  RunResult b;
+  std::thread ta([&] { a = run_claimed("a"); });
+  std::thread tb([&] { b = run_claimed("b"); });
+  ta.join();
+  tb.join();
+
+  // Claims serialize computation: each of the 4 jobs is computed by exactly
+  // one runner. A job one runner did not compute shows up for it as either
+  // a cache hit (stored before its probe) or claimed-elsewhere.
+  EXPECT_EQ(a.computed + b.computed, 4u);
+  EXPECT_EQ(a.claimed_elsewhere + a.cache_hits, b.computed);
+  EXPECT_EQ(b.claimed_elsewhere + b.cache_hits, a.computed);
+
+  // The shared cache holds all four payloads, byte-identical to an
+  // unraced run in a fresh cache.
+  RunOptions reference;
+  reference.cache_dir = path("cache-ref");
+  const auto ref = ScenarioRunner(reference).run(spec);
+  ResultCache raced(cache_dir);
+  ResultCache unraced(reference.cache_dir);
+  const auto plan = plan_scenario(spec);
+  for (const auto& hash : plan.hashes) {
+    const auto raced_payload = raced.load(hash);
+    const auto ref_payload = unraced.load(hash);
+    ASSERT_TRUE(raced_payload.has_value());
+    ASSERT_TRUE(ref_payload.has_value());
+    EXPECT_EQ(json::dump(*raced_payload), json::dump(*ref_payload));
+  }
+  // A warm re-run over the raced cache re-emits the reference bytes.
+  RunOptions warm;
+  warm.cache_dir = cache_dir;
+  EXPECT_EQ(json::dump(ScenarioRunner(warm).run(spec).report), json::dump(ref.report));
+}
+
+TEST_F(ScenarioTest, OrphanedSidecarsAreCountedAndSweptStale) {
+  const auto spec = parse_spec_text(kSmallSpec);
+  RunOptions options;
+  options.cache_dir = path("cache");
+  (void)ScenarioRunner(options).run(spec);
+
+  ResultCache cache(options.cache_dir);
+  // Litter the root the way a killed process would: an orphaned store
+  // temporary, one stale claim, one fresh claim.
+  fs::create_directories(fs::path(cache.root()) / "ab");
+  std::ofstream((fs::path(cache.root()) / "ab" / "abcd000000000000.json.tmp99").string())
+      << "{partial";
+  ASSERT_EQ(cache.try_claim("00000000000000aa", "dead", 1000, 60000),
+            ClaimOutcome::kAcquired);
+  ASSERT_EQ(cache.try_claim("00000000000000bb", "live", 100000, 60000),
+            ClaimOutcome::kAcquired);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 4u);  // litter is invisible to the entry count
+  EXPECT_EQ(stats.tmp_files, 1u);
+  EXPECT_EQ(stats.claim_files, 2u);
+
+  // The stale sweep removes the temporary and the expired claim; the fresh
+  // claim (a live fleet's working set) and every entry survive.
+  const auto sweep = cache.clear_stale(100000, 60000);
+  EXPECT_EQ(sweep.tmp_removed, 1u);
+  EXPECT_EQ(sweep.claims_removed, 1u);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.entries, 4u);
+  EXPECT_EQ(after.tmp_files, 0u);
+  EXPECT_EQ(after.claim_files, 1u);
+  EXPECT_FALSE(cache.read_claim("00000000000000aa").has_value());
+  EXPECT_TRUE(cache.read_claim("00000000000000bb").has_value());
+
+  // A full clear also removes the remaining claim sidecar.
+  EXPECT_EQ(cache.clear(), 4u);
+  EXPECT_EQ(cache.stats().claim_files, 0u);
+}
 
 TEST_F(ScenarioTest, BatchedYieldRunIsBitIdenticalToScalarExecution) {
   // The acceptance pin of the batch wiring: a fast-profile yield sweep

@@ -7,7 +7,7 @@
 ///   adc_scenario validate <spec.json>...
 ///   adc_scenario hash <spec.json>
 ///   adc_scenario cache stats [--cache-dir D] [--format=text|json]
-///   adc_scenario cache clear [--cache-dir D]
+///   adc_scenario cache clear [--cache-dir D] [--stale [--lease-ms N]]
 ///   adc_scenario client submit <spec.json> --socket S [--report-dir D] ...
 ///   adc_scenario client status|shutdown --socket S
 ///
@@ -17,6 +17,7 @@
 ///
 /// Exit status: 0 on success, 1 on any validation/run failure (including an
 /// unmet --min-hit-rate), 2 on usage errors.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -53,6 +54,8 @@ void print_usage() {
       "  hash <spec.json>         print the spec hash and every job hash\n"
       "  cache stats|clear [--cache-dir D]\n"
       "      --format=text|json   stats output format (default text)\n"
+      "      --stale              clear: remove only orphaned .tmp files and\n"
+      "                           claims staler than --lease-ms (default 10000)\n"
       "  client submit <spec.json> --socket S\n"
       "      --report-dir D       write <name>_report.{json,csv} into D\n"
       "      --max-jobs N         server computes at most N cache misses\n"
@@ -190,6 +193,8 @@ int cache_command(const std::vector<std::string>& args) {
   if (args.empty()) usage_error("cache: expected stats or clear");
   std::string root;
   std::string format = "text";
+  bool stale_only = false;
+  std::uint64_t lease_ms = 10000;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--cache-dir") {
       std::size_t j = i;
@@ -201,6 +206,12 @@ int cache_command(const std::vector<std::string>& args) {
       ++i;
     } else if (args[i].rfind("--format=", 0) == 0) {
       format = args[i].substr(std::string("--format=").size());
+    } else if (args[i] == "--stale") {
+      stale_only = true;
+    } else if (args[i] == "--lease-ms") {
+      std::size_t j = i;
+      lease_ms = std::strtoull(take_value(args, j).c_str(), nullptr, 10);
+      ++i;
     } else {
       usage_error("unknown option " + args[i]);
     }
@@ -218,9 +229,28 @@ int cache_command(const std::vector<std::string>& args) {
     std::printf("cache_dir %s\nentries %llu\nbytes %llu\n", cache.root().c_str(),
                 static_cast<unsigned long long>(stats.entries),
                 static_cast<unsigned long long>(stats.bytes));
+    if (stats.tmp_files != 0 || stats.claim_files != 0) {
+      std::printf("tmp_files %llu (orphaned store temporaries)\n"
+                  "claim_files %llu (fleet claims; stale ones are litter)\n",
+                  static_cast<unsigned long long>(stats.tmp_files),
+                  static_cast<unsigned long long>(stats.claim_files));
+      std::printf("hint: `adc_scenario cache clear --stale` reclaims orphans\n");
+    }
     return 0;
   }
   if (args[0] == "clear") {
+    if (stale_only) {
+      const auto now = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      const auto sweep = cache.clear_stale(now, lease_ms);
+      std::printf("removed %llu orphaned tmp files and %llu stale claims from %s\n",
+                  static_cast<unsigned long long>(sweep.tmp_removed),
+                  static_cast<unsigned long long>(sweep.claims_removed),
+                  cache.root().c_str());
+      return 0;
+    }
     const auto removed = cache.clear();
     std::printf("cleared %llu entries from %s\n",
                 static_cast<unsigned long long>(removed), cache.root().c_str());

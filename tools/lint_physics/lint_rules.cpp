@@ -30,7 +30,7 @@ const std::vector<std::string>& known_layers() {
   static const std::vector<std::string> layers{
       "common",  "analog",      "clocking", "dsp",    "digital",  "runtime", "bias",
       "pipeline", "batch",      "power",    "twostep", "survey", "calibration", "testbench",
-      "scenario", "service"};
+      "scenario", "fleet", "service"};
   return layers;
 }
 
@@ -94,6 +94,7 @@ const LayerDag& default_layer_dag() {
       {"survey", {"common", "power"}},
       {"testbench", {"common", "batch", "dsp", "pipeline", "runtime"}},
       {"scenario", {"common", "batch", "pipeline", "power", "runtime", "testbench"}},
+      {"fleet", {"common", "runtime", "scenario"}},
       {"service", {"common", "runtime", "scenario"}},
   }};
   return dag;
@@ -200,8 +201,9 @@ struct FileContext {
   bool in_math_layer = false;     // src/analog | src/pipeline | src/batch (profile-math)
   bool is_exact_profile = false;  // transient solver: direct libm is the contract
   bool in_alloc_layer = false;    // src/analog | src/pipeline | src/batch | src/digital
-  bool in_clock_exempt = false;   // src/runtime (telemetry) and src/service
-                                  // (socket/poll deadlines) may read clocks
+  bool in_clock_exempt = false;   // src/runtime (telemetry), src/service
+                                  // (socket/poll deadlines) and src/fleet
+                                  // (claim heartbeats/polling) may read clocks
   std::string layer;              // src/<layer>, empty outside src or unknown
 };
 
@@ -218,8 +220,9 @@ FileContext make_context(const fs::path& path) {
   ctx.is_exact_profile = path_contains(path, "analog/transient.");
   ctx.in_alloc_layer =
       in_analog || in_pipeline || in_batch || path_contains(path, "src/digital/");
-  ctx.in_clock_exempt =
-      path_contains(path, "src/runtime/") || path_contains(path, "src/service/");
+  ctx.in_clock_exempt = path_contains(path, "src/runtime/") ||
+                        path_contains(path, "src/service/") ||
+                        path_contains(path, "src/fleet/");
   ctx.layer = layer_of(path);
   return ctx;
 }
@@ -416,8 +419,8 @@ class TokenScanner {
     const char* const clock_msg =
         "wall-clock/thread-identity read in a result-producing layer breaks "
         "run-to-run determinism; timing belongs to src/runtime/ telemetry "
-        "(RunManifest) or src/service/ I/O deadlines, results must depend "
-        "only on seeds and specs";
+        "(RunManifest), src/service/ I/O deadlines or src/fleet/ claim "
+        "leases, results must depend only on seeds and specs";
     if (t.text == "chrono" || t.text == "this_thread" || t.text == "rdtsc" ||
         t.text == "__rdtsc" || t.text == "__builtin_ia32_rdtsc") {
       add(t.line, "determinism", clock_msg);
