@@ -11,9 +11,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "batch/batch_api.hpp"
 #include "batch/converter.hpp"
+#include "common/counter_rng.hpp"
 #include "common/isa_dispatch.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/signal.hpp"
@@ -77,6 +80,44 @@ void BM_ConvertNominalFastBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(n * seeds.size()));
 }
 BENCHMARK(BM_ConvertNominalFastBatch)->Arg(1 << 10)->Arg(1 << 13);
+
+// The Philox + Box-Muller noise fill in isolation — the term that was
+// 41-58% of batch conversion time under fast contract v1 and the direct
+// target of the v2 division-free draw math. Scalar twin: the baseline-ISA
+// fill every per-die conversion uses. Items = deviates.
+void BM_NoiseFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    adc::common::philox_normal_fill(adc::pipeline::kNominalSeed, ++epoch, 0,
+                                    std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NoiseFill)->Arg(1 << 13)->Arg(1 << 16);
+
+// The same fill through the batch engine's runtime-dispatched kernel (the
+// widest tier the CPU executes — see the batch_isa context key). The ratio
+// to BM_NoiseFill is the draw pipeline's own ISA speedup, separated from
+// the stage-chain arithmetic that surrounds it in the conversion pairs.
+void BM_NoiseFillBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  const auto& ops = adc::batch::kernel_ops(adc::common::active_batch_isa());
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    ops.normal_fill(adc::pipeline::kNominalSeed, ++epoch, 0, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NoiseFillBatch)->Arg(1 << 13)->Arg(1 << 16);
 
 void BM_ConvertIdeal(benchmark::State& state) {
   adc::pipeline::PipelineAdc converter(adc::pipeline::ideal_design());

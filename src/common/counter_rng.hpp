@@ -19,7 +19,6 @@
 /// constants.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
 #include <span>
 
@@ -72,10 +71,17 @@ struct PhiloxBlock {
 /// u1 lands in (0, 1] (so the log argument is a positive normal and a
 /// full-entropy u1 never repeats the polar method's rejection), u2 in
 /// [0, 1); the largest representable deviate is ~8.57 sigma.
+///
+/// Fast contract v2 (kFastContractVersion in common/fidelity.hpp): the
+/// radius uses fastmath::sqrt_fast — together with the division-free
+/// log_fast this makes the whole draw multiply/add-only, which is what lets
+/// the batch engine's SoA fill run off the divider port. The deviate values
+/// differ from contract v1 at the last few ulp; all v2 golden vectors are
+/// pinned in tests/test_fast_rng.cpp and tests/test_golden_codes_fast.cpp.
 ADC_ALWAYS_INLINE inline void philox_normal_pair(const PhiloxBlock& block, double& z0, double& z1) {
   const double u1 = (static_cast<double>(block.lo >> 11) + 1.0) * 0x1p-53;
   const double u2 = static_cast<double>(block.hi >> 11) * 0x1p-53;
-  const double r = std::sqrt(-2.0 * fastmath::log_fast(u1));
+  const double r = fastmath::sqrt_fast(-2.0 * fastmath::log_fast(u1));
   double s = 0.0;
   double c = 0.0;
   fastmath::sincos_fast(fastmath::kTwoPi * u2, s, c);

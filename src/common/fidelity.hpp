@@ -29,6 +29,7 @@
 /// See docs/PERFORMANCE.md for the two-contract table.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 namespace adc::common {
@@ -38,6 +39,25 @@ enum class FidelityProfile {
   kExact,  ///< bit-identity contract (sequential polar RNG, libm)
   kFast,   ///< positional-determinism contract (counter RNG, fastmath)
 };
+
+/// Version of the *fast*-profile determinism contract: the pinned draw math
+/// behind every `kFast` deviate and transcendental. Bump whenever the fast
+/// kernels change their output bits (the exact profile has no version — its
+/// contract *is* bit-identity with the original implementation).
+///
+/// The scenario engine folds this constant into the golden-code fingerprint
+/// (src/scenario/hash.cpp), so a contract bump retires every cached fast
+/// result atomically: entries written under different contract versions can
+/// never cross-pollinate, even if the regenerated codes happened to collide.
+///
+/// History:
+///   v1 — PR 5 contract: Philox4x32-10 + branch-free Box–Muller with
+///        artanh-series log ((m-1)/(m+1) quotient) and std::sqrt radius.
+///   v2 — division-free draw math: minimax ln(1+t) polynomial on the
+///        mantissa split, rsqrt-seeded Newton–Raphson radius. Same positional
+///        indexing (key, epoch, sample, slot); deviates differ at the last
+///        few ulp.
+inline constexpr std::uint64_t kFastContractVersion = 2;
 
 /// Spelling used in scenario specs, reports and cache keys.
 [[nodiscard]] constexpr std::string_view to_string(FidelityProfile profile) {

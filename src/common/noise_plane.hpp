@@ -14,6 +14,12 @@
 /// `epoch` distinguishes captures: the converter bumps it once per capture
 /// so repeated captures see fresh noise, mirroring how the sequential
 /// exact-profile stream advances across calls.
+///
+/// The deviate *values* are owned by the fast determinism contract
+/// (`kFastContractVersion` in common/fidelity.hpp): positional indexing is
+/// stable across contract versions, but the pinned draw math — and hence
+/// every bit of the plane — changes when the contract version bumps, and
+/// the scenario cache keys on that version.
 #pragma once
 
 #include <cstddef>

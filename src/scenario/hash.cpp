@@ -5,6 +5,7 @@
 #include <numbers>
 #include <vector>
 
+#include "common/fidelity.hpp"
 #include "pipeline/design.hpp"
 #include "power/power_model.hpp"
 
@@ -45,7 +46,9 @@ void update_with_codes(Fnv1a& hash, const adc::pipeline::AdcConfig& config) {
   for (const int code : codes) hash.update_u64(static_cast<std::uint64_t>(code));
 }
 
-std::uint64_t compute_fingerprint() {
+/// The behavioral leg of the fingerprint: golden codes + power breakdown,
+/// with no version constants folded in yet.
+std::uint64_t compute_code_digest() {
   Fnv1a hash;
   update_with_codes(hash, adc::pipeline::nominal_design());
   update_with_codes(hash, adc::pipeline::ideal_design());
@@ -69,9 +72,21 @@ std::uint64_t compute_fingerprint() {
 
 }  // namespace
 
+std::uint64_t golden_code_fingerprint_for(std::uint64_t fast_contract_version) {
+  static const std::uint64_t code_digest = compute_code_digest();
+  // The declared contract version is folded in *on top of* the behavioral
+  // digest: a contract bump retires every fast cache entry even if the
+  // regenerated golden codes were to collide with the old ones, and the
+  // explicit parameter gives tests a handle to prove cross-version isolation
+  // without rebuilding old kernels.
+  Fnv1a hash;
+  hash.update_u64(code_digest);
+  hash.update_u64(fast_contract_version);
+  return hash.digest();
+}
+
 std::uint64_t golden_code_fingerprint() {
-  static const std::uint64_t fingerprint = compute_fingerprint();
-  return fingerprint;
+  return golden_code_fingerprint_for(adc::common::kFastContractVersion);
 }
 
 json::JsonValue job_document(const ResolvedJob& job) {
@@ -111,12 +126,16 @@ json::JsonValue job_document(const ResolvedJob& job) {
   return doc;
 }
 
-std::string job_hash(const ResolvedJob& job) {
+std::string job_hash_with_fingerprint(const ResolvedJob& job, std::uint64_t fingerprint) {
   Fnv1a hash;
   hash.update(json::canonical(job_document(job)));
   hash.update_u64(kScenarioSchemaVersion);
-  hash.update_u64(golden_code_fingerprint());
+  hash.update_u64(fingerprint);
   return to_hex(hash.digest());
+}
+
+std::string job_hash(const ResolvedJob& job) {
+  return job_hash_with_fingerprint(job, golden_code_fingerprint());
 }
 
 std::string spec_hash(const ScenarioSpec& spec) {

@@ -10,10 +10,12 @@
 ///     retires every old entry, and
 ///   * the *golden-code fingerprint*: a hash over the output codes of the
 ///     nominal and ideal dies for a pinned stimulus — under both fidelity
-///     profiles — plus the nominal power breakdown. Any change to the
-///     converter or power models (exact or fast kernels) changes the
-///     fingerprint and therefore every cache key — stale physics can never
-///     be served from cache.
+///     profiles — plus the nominal power breakdown, with the declared
+///     fast-contract version (`adc::common::kFastContractVersion`) folded on
+///     top. Any change to the converter or power models (exact or fast
+///     kernels) changes the fingerprint and therefore every cache key —
+///     stale physics can never be served from cache — and a fast-contract
+///     bump retires old entries even if the regenerated codes collided.
 ///
 /// The resolved fidelity profile is part of the job document itself, so
 /// `exact` and `fast` runs of the same experiment address different entries
@@ -66,6 +68,14 @@ class Fnv1a {
 /// process (fabricates two converters and runs ~1k conversions) and cached.
 [[nodiscard]] std::uint64_t golden_code_fingerprint();
 
+/// The fingerprint this build would have declared under fast-contract
+/// version `fast_contract_version` (same behavioral code digest, different
+/// version fold). `golden_code_fingerprint()` is this at
+/// `adc::common::kFastContractVersion`. Exposed so tests can prove that
+/// cache entries keyed under a different contract version are unreachable
+/// from the current build.
+[[nodiscard]] std::uint64_t golden_code_fingerprint_for(std::uint64_t fast_contract_version);
+
 /// The canonical hash input for one resolved job (exposed for tests and the
 /// `adc_scenario hash` subcommand).
 [[nodiscard]] adc::common::json::JsonValue job_document(const ResolvedJob& job);
@@ -73,6 +83,11 @@ class Fnv1a {
 /// The cache key of one resolved job: hex FNV-1a over
 /// `canonical(job_document)` + schema version + fingerprint.
 [[nodiscard]] std::string job_hash(const ResolvedJob& job);
+
+/// `job_hash` with an explicit fingerprint instead of the process-wide one
+/// (test seam for the cross-version cache-isolation proof).
+[[nodiscard]] std::string job_hash_with_fingerprint(const ResolvedJob& job,
+                                                    std::uint64_t fingerprint);
 
 /// Identity hash of a whole spec (name/description excluded): hex FNV-1a
 /// over the canonical spec document + schema version + fingerprint. Stable

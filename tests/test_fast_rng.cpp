@@ -13,7 +13,9 @@
 ///  * the deviates must actually be standard normals (moments + KS), since
 ///    branch-free Box–Muller replaces the exact profile's polar method;
 ///  * the polynomial transcendental kernels must track libm to the few-ulp
-///    bounds documented in common/fastmath.hpp over their stated domains.
+///    bounds documented in common/fastmath.hpp over their stated domains —
+///    including, under fast contract v2, the division-free log and the
+///    rsqrt-seeded Newton sqrt that carry the Box–Muller radius.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -108,15 +110,67 @@ TEST(PhiloxRng, NoisePlaneRegenerationIsBitIdentical) {
   EXPECT_NE(window.row(0)[0], reference.row(0)[0]);
 }
 
+TEST(PhiloxRng, ChunkedRegenerationAcrossEpochBoundaries) {
+  // The batch engine regenerates a plane in kChunkSamples windows and bumps
+  // the epoch between captures, interleaving (epoch, window) pairs in
+  // whatever order the die-blocks run. Contract: a chunk regenerated after
+  // *any* sequence of other (epoch, window) fills — including fills of a
+  // different epoch in between — is bit-identical to the one-shot plane of
+  // its own epoch. A draw-math kernel with hidden state (or an epoch mixed
+  // into anything but the stream coordinate) would break this.
+  constexpr std::uint32_t kSlots = 36;
+  constexpr std::size_t kRows = 640;  // spans several 128-block tiles
+  const std::uint64_t epochs[] = {11, 12};
+
+  NoisePlane ref_a(kKey, kSlots);
+  ref_a.generate(epochs[0], 0, kRows);
+  std::vector<double> plane_a(ref_a.row(0), ref_a.row(0) + kRows * kSlots);
+  NoisePlane ref_b(kKey, kSlots);
+  ref_b.generate(epochs[1], 0, kRows);
+  std::vector<double> plane_b(ref_b.row(0), ref_b.row(0) + kRows * kSlots);
+
+  // Same positions, adjacent epochs: the planes must be fully decorrelated,
+  // not shifted copies.
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < plane_a.size(); ++i) {
+    if (plane_a[i] == plane_b[i]) ++equal;
+  }
+  EXPECT_LT(equal, 4u);
+
+  // Ping-pong chunked regeneration between the two epochs, with window
+  // starts chosen to straddle tile boundaries (a tile is 128 blocks = 256
+  // deviates; a 36-slot row never aligns with it).
+  NoisePlane window(kKey, kSlots);
+  for (const std::uint64_t first : {0ull, 1ull, 127ull, 255ull, 256ull, 500ull}) {
+    for (int flip = 0; flip < 2; ++flip) {
+      const std::uint64_t epoch = epochs[flip];
+      const std::vector<double>& plane = (flip == 0) ? plane_a : plane_b;
+      window.generate(epoch, first, 100);
+      for (std::uint64_t s = first; s < first + 100; ++s) {
+        const double* got = window.row(s);
+        const double* want = plane.data() + s * kSlots;
+        for (std::uint32_t k = 0; k < kSlots; ++k) {
+          ASSERT_EQ(got[k], want[k])
+              << "epoch " << epoch << " sample " << s << " slot " << k;
+        }
+      }
+    }
+  }
+}
+
 TEST(PhiloxRng, FirstDrawsArePinned) {
   // Golden regression guard for the fast contract: these exact doubles may
   // only change with an explicit contract bump and a regeneration of the
   // fast golden-code tables (mirrors kGoldenConvert64 for the exact
   // profile). Any change to the cipher, the bits->uniform mapping, or the
   // Box-Muller kernels moves them.
+  //
+  // Pinned under fast contract v2 (kFastContractVersion == 2): the
+  // division-free log/sqrt draw math. The first two deviates moved by 1-2
+  // ulp relative to contract v1; the last two happen to round identically.
   const std::vector<double> expected = {
-      -2.28277845513356087e-01,
-      -2.55481661112267222e-01,
+      -2.28277845513356115e-01,
+      -2.55481661112267278e-01,
       -1.07492898757829658e+00,
       1.11749836576973705e+00,
   };
@@ -248,6 +302,27 @@ TEST(Fastmath, Log1pTracksLibmWithinUlpBound) {
     EXPECT_LE(ulp_distance(fastmath::log1p_fast(x), std::log1p(x)), 4u) << "x " << x;
   }
   EXPECT_EQ(fastmath::log1p_fast(0.0), 0.0);
+}
+
+TEST(Fastmath, SqrtTracksLibmWithinUlpBound) {
+  // The rsqrt-seeded Newton radius of fast contract v2. Sweep the full
+  // normal range (the documented domain) plus the Box-Muller radius-squared
+  // band [~1e-16, 73.7] the draw pipeline actually feeds it.
+  std::uint64_t worst = 0;
+  for (const double x : log_sweep(1e-300, 1e300, 6000)) {
+    worst = std::max(worst, ulp_distance(fastmath::sqrt_fast(x), std::sqrt(x)));
+  }
+  for (const double x : log_sweep(1e-16, 73.7, 6000)) {
+    worst = std::max(worst, ulp_distance(fastmath::sqrt_fast(x), std::sqrt(x)));
+  }
+  EXPECT_LE(worst, 2u);  // documented ~1 ulp
+  // Anchors the draw pipeline can hit: u1 == 1 gives a -0.0 radius argument
+  // (std::sqrt(-0.0) is -0.0, and the Newton form preserves that), and small
+  // perfect squares land exactly.
+  EXPECT_EQ(fastmath::sqrt_fast(0.0), 0.0);
+  EXPECT_TRUE(std::signbit(fastmath::sqrt_fast(-0.0)));
+  EXPECT_EQ(fastmath::sqrt_fast(1.0), 1.0);
+  EXPECT_EQ(fastmath::sqrt_fast(4.0), 2.0);
 }
 
 TEST(Fastmath, PowTracksLibmOverModelExponents) {

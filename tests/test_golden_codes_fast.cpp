@@ -47,6 +47,13 @@ AdcConfig fast_nominal(std::uint64_t seed = adc::pipeline::kNominalSeed) {
 // Golden vectors generated from the fast kernel at the commit introducing
 // the fidelity-profile axis, with the exact call sequence of
 // GoldenCodesFast.NominalDieSequence below.
+//
+// Re-verified under fast contract v2 (division-free log/sqrt draw math,
+// kFastContractVersion == 2): the deviates moved by 1-2 ulp but every
+// pinned *code* rounds identically — noise sigmas are microvolts against
+// millivolt LSBs, so an ulp-level deviate shift is ~1e-10 LSB and the
+// tables below are byte-for-byte the v1 tables. The underlying deviate
+// pins in test_fast_rng.cpp did change and were regenerated.
 const std::vector<int> kFastConvert64 = {
     2039, 3145, 3901, 4068, 3595, 2629, 1478, 507,  27,   189,  940,  2044, 3148,
     3904, 4068, 3593, 2624, 1474, 503,  27,   190,  943,  2048, 3152, 3905, 4068,

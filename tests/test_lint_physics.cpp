@@ -123,6 +123,28 @@ TEST(LintPhysics, ProfileMathRuleAllowlistsExactOnlyFiles) {
   EXPECT_EQ(count_rule(lint_file("src/analog/opamp.cpp", text), "profile-math"), 1u);
 }
 
+TEST(LintPhysics, ProfileMathRuleCoversDrawPipeline) {
+  const auto contents = read_fixture("common/counter_rng_bad.hpp");
+  // sqrt + log on the radius line, cos, and hypot: four findings. The
+  // abs/fma line and the lint-ok'd diagnostic sqrt stay silent.
+  const auto findings = lint_file("src/common/counter_rng_bad.hpp", contents);
+  EXPECT_EQ(count_rule(findings, "profile-math"), 4u);
+  // The same scope applies to every draw-pipeline file, headers and TUs.
+  EXPECT_EQ(count_rule(lint_file("src/common/noise_plane.hpp", contents), "profile-math"), 4u);
+  EXPECT_EQ(count_rule(lint_file("src/common/counter_rng.cpp", contents), "profile-math"), 4u);
+  // Elsewhere under src/common the rule keeps its old scope: not a model
+  // layer, so the same code is clean.
+  EXPECT_EQ(count_rule(lint_file("src/common/json.cpp", contents), "profile-math"), 0u);
+}
+
+TEST(LintPhysics, ProfileMathSqrtIsDrawPipelineOnly) {
+  // std::sqrt stays a single-instruction non-finding in the model layers;
+  // only the draw pipeline (division/sqrt-free by fast contract v2) bans it.
+  const std::string text = "double r = std::sqrt(x);\n";
+  EXPECT_EQ(count_rule(lint_file("src/analog/opamp.cpp", text), "profile-math"), 0u);
+  EXPECT_EQ(count_rule(lint_file("src/common/counter_rng_tile.hpp", text), "profile-math"), 1u);
+}
+
 TEST(LintPhysics, PrintfRuleFiresInSrcOnly) {
   const auto contents = read_fixture("bad_printf.cpp");
   EXPECT_EQ(count_rule(lint_file("src/fixture/bad_printf.cpp", contents), "no-printf"), 1u);

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/fidelity.hpp"
 #include "common/json.hpp"
 #include "scenario/cache.hpp"
 #include "scenario/hash.hpp"
@@ -399,6 +400,69 @@ TEST_F(ScenarioTest, CacheIsolatesFidelityProfiles) {
   EXPECT_EQ(json::dump(fast_warm.report), json::dump(fast_cold.report));
 
   EXPECT_NE(json::dump(fast_cold.report), json::dump(exact_cold.report));
+}
+
+/// A fast-contract bump (kFastContractVersion, folded into the golden-code
+/// fingerprint) must retire every cache entry written under the previous
+/// contract: v1 keys are unreachable from a v2 build, so a v2 run recomputes
+/// everything and never reads — or clobbers — a v1 entry, even in the same
+/// cache directory. This is the isolation the version constant buys beyond
+/// the behavioral code digest (which could in principle collide across a
+/// contract change that happens to reproduce the probe codes — exactly what
+/// the v1 -> v2 division-free draw-math revision did).
+TEST_F(ScenarioTest, CacheIsolatesFastContractVersions) {
+  auto doc = json::parse(kSmallSpec);
+  auto die = json::JsonValue::object();
+  die.set("fidelity", "fast");
+  doc.set("die", std::move(die));
+  const auto spec = parse_spec(doc);
+
+  const std::uint64_t version = adc::common::kFastContractVersion;
+  ASSERT_GE(version, 2u);
+  const std::uint64_t old_fp = golden_code_fingerprint_for(version - 1);
+  EXPECT_NE(old_fp, golden_code_fingerprint());
+  EXPECT_EQ(golden_code_fingerprint_for(version), golden_code_fingerprint());
+
+  // Plant a poison payload under every job's *previous-contract* key.
+  const auto plan = plan_scenario(spec);
+  const auto jobs = expand_jobs(spec);
+  ASSERT_EQ(plan.hashes.size(), jobs.size());
+  ResultCache cache(path("cache"));
+  cache.ensure_writable();
+  std::vector<std::string> old_keys;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto job = resolve_job(spec, jobs[i]);
+    EXPECT_EQ(plan.hashes[i], job_hash_with_fingerprint(job, golden_code_fingerprint()));
+    const std::string old_key = job_hash_with_fingerprint(job, old_fp);
+    EXPECT_NE(old_key, plan.hashes[i]) << "job " << i;
+    auto poison = json::JsonValue::object();
+    poison.set("poison", true);
+    cache.store(old_key, poison);
+    old_keys.push_back(old_key);
+  }
+
+  // The current build plans only current-version keys: the run sees a cold
+  // cache and computes every job.
+  RunOptions options;
+  options.cache_dir = path("cache");
+  ScenarioRunner runner(options);
+  const auto cold = runner.run(spec);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.computed, jobs.size());
+
+  // ... and the old-contract entries are still there, untouched: retiring a
+  // contract never rewrites history (a rollback build would still find its
+  // own entries intact).
+  for (const auto& key : old_keys) {
+    const auto entry = cache.load(key);
+    ASSERT_TRUE(entry.has_value()) << key;
+    EXPECT_TRUE(entry->contains("poison")) << key;
+  }
+
+  // Warm re-run under the current contract: all hits.
+  const auto warm = runner.run(spec);
+  EXPECT_EQ(warm.cache_hits, jobs.size());
+  EXPECT_EQ(warm.computed, 0u);
 }
 
 namespace {

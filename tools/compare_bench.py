@@ -24,7 +24,15 @@ pairs*: a benchmark named `<Base>Batch[/arg]` is paired with `<Base>[/arg]`
 and their items_per_second ratio is printed (and emitted under
 "throughput_pairs" with --json) for both files. This is the batch
 conversion engine's speedup trajectory — CI uploads it with every bench
-artifact.
+artifact. A `*Batch` benchmark with no scalar twin (or with no
+items_per_second counter on either side) is reported as a warning rather
+than silently dropped — a renamed scalar benchmark must not quietly erase
+the pair from the trajectory.
+
+With --markdown FILE the pairs are additionally appended to FILE as a
+GitHub-flavored markdown table (plus the regression verdict); CI points
+this at $GITHUB_STEP_SUMMARY so the speedup table renders on the pull
+request's checks page.
 
 Exit status: 0 when nothing regressed (or there was no baseline), 1 when at
 least one benchmark did, 2 on malformed current input. CI wires this as a
@@ -61,14 +69,18 @@ def load_benchmarks(path: str) -> dict[str, dict] | None:
     return out
 
 
-def throughput_pairs(benchmarks: dict[str, dict]) -> list[dict]:
+def throughput_pairs(benchmarks: dict[str, dict]) -> tuple[list[dict], list[str]]:
     """Pair `<Base>Batch[/arg]` rows with `<Base>[/arg]` by items_per_second.
 
-    Returns one row per pair found: the scalar and batch throughputs and
-    their ratio (batch / scalar — the batch engine's aggregate speedup).
-    Rows missing items_per_second on either side are skipped.
+    Returns (pairs, warnings). Each pair row carries the scalar and batch
+    throughputs and their ratio (batch / scalar — the batch engine's
+    aggregate speedup). A batch row that cannot be paired — no scalar twin,
+    or items_per_second missing on either side — produces a warning string
+    instead of vanishing: a renamed or counter-less scalar benchmark must
+    not silently erase the pair from the speedup trajectory.
     """
     pairs = []
+    warnings = []
     for name, entry in sorted(benchmarks.items()):
         head, _, arg = name.partition("/")
         if not head.endswith("Batch"):
@@ -76,10 +88,13 @@ def throughput_pairs(benchmarks: dict[str, dict]) -> list[dict]:
         scalar_name = head[: -len("Batch")] + (f"/{arg}" if arg else "")
         scalar = benchmarks.get(scalar_name)
         if scalar is None:
+            warnings.append(f"{name}: no scalar twin {scalar_name!r} — pair skipped")
             continue
         batch_ips = entry.get("items_per_second")
         scalar_ips = scalar.get("items_per_second")
         if not batch_ips or not scalar_ips:
+            which = scalar_name if not scalar_ips else name
+            warnings.append(f"{name}: {which!r} has no items_per_second — pair skipped")
             continue
         pairs.append(
             {
@@ -90,20 +105,53 @@ def throughput_pairs(benchmarks: dict[str, dict]) -> list[dict]:
                 "ratio": batch_ips / scalar_ips,
             }
         )
-    return pairs
+    return pairs, warnings
 
 
-def print_pairs(label: str, pairs: list[dict], report) -> None:
-    if not pairs:
+def print_pairs(label: str, pairs: list[dict], warnings: list[str], report) -> None:
+    if not pairs and not warnings:
         return
     print(f"\nscalar/batch throughput pairs ({label}):", file=report)
-    width = max(len(p["batch"]) for p in pairs)
-    for p in pairs:
-        print(
-            f"  {p['batch']:<{width}}  {p['scalar_items_per_second'] / 1e6:8.2f} -> "
-            f"{p['batch_items_per_second'] / 1e6:8.2f} M items/s   x{p['ratio']:.2f}",
-            file=report,
-        )
+    if pairs:
+        width = max(len(p["batch"]) for p in pairs)
+        for p in pairs:
+            print(
+                f"  {p['batch']:<{width}}  {p['scalar_items_per_second'] / 1e6:8.2f} -> "
+                f"{p['batch_items_per_second'] / 1e6:8.2f} M items/s   x{p['ratio']:.2f}",
+                file=report,
+            )
+    for warning in warnings:
+        print(f"  WARNING: {warning}", file=report)
+
+
+def pairs_markdown(label: str, pairs: list[dict], warnings: list[str]) -> str:
+    """Render one file's throughput pairs as a GitHub-flavored markdown table."""
+    lines = [f"#### Scalar/batch throughput pairs ({label})", ""]
+    if pairs:
+        lines += [
+            "| batch benchmark | scalar (M items/s) | batch (M items/s) | speedup |",
+            "| --- | ---: | ---: | ---: |",
+        ]
+        for p in pairs:
+            lines.append(
+                f"| `{p['batch']}` | {p['scalar_items_per_second'] / 1e6:.2f} "
+                f"| {p['batch_items_per_second'] / 1e6:.2f} | x{p['ratio']:.2f} |"
+            )
+    else:
+        lines.append("_no scalar/batch pairs found_")
+    for warning in warnings:
+        lines.append(f"- :warning: {warning}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown(path: str, sections: list[str]) -> None:
+    """Append the markdown report to `path` ($GITHUB_STEP_SUMMARY in CI)."""
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n".join(sections) + "\n")
+    except OSError as err:
+        print(f"compare_bench: cannot write markdown report: {err}", file=sys.stderr)
 
 
 def fmt_time(ns: float) -> str:
@@ -129,6 +177,12 @@ def main() -> int:
         dest="as_json",
         help="emit a machine-readable verdict on stdout (table goes to stderr)",
     )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="append a markdown report (verdict + throughput-pair tables) to "
+        "FILE — CI points this at $GITHUB_STEP_SUMMARY",
+    )
     args = parser.parse_args()
 
     report = sys.stderr if args.as_json else sys.stdout
@@ -143,7 +197,7 @@ def main() -> int:
         print(f"compare_bench: no iteration benchmarks in {args.current}", file=sys.stderr)
         return 2
 
-    curr_pairs = throughput_pairs(curr)
+    curr_pairs, curr_pair_warnings = throughput_pairs(curr)
 
     base = load_benchmarks(args.baseline)
     if base is None or not base:
@@ -153,7 +207,18 @@ def main() -> int:
             "nothing to compare against (first run?) — skipping comparison",
             file=report,
         )
-        print_pairs("current", curr_pairs, report)
+        print_pairs("current", curr_pairs, curr_pair_warnings, report)
+        if args.markdown:
+            write_markdown(
+                args.markdown,
+                [
+                    "### Benchmark comparison",
+                    "",
+                    f"_baseline `{args.baseline}` is {reason} — comparison skipped_",
+                    "",
+                    pairs_markdown("current", curr_pairs, curr_pair_warnings),
+                ],
+            )
         emit_json(
             {
                 "status": "no_baseline",
@@ -162,6 +227,7 @@ def main() -> int:
                 "threshold": args.threshold,
                 "benchmarks": [],
                 "throughput_pairs": curr_pairs,
+                "throughput_pair_warnings": curr_pair_warnings,
             }
         )
         return 0
@@ -219,9 +285,28 @@ def main() -> int:
     if only_curr:
         print(f"only in current:  {', '.join(only_curr)}", file=report)
 
-    base_pairs = throughput_pairs(base)
-    print_pairs("baseline", base_pairs, report)
-    print_pairs("current", curr_pairs, report)
+    base_pairs, base_pair_warnings = throughput_pairs(base)
+    print_pairs("baseline", base_pairs, base_pair_warnings, report)
+    print_pairs("current", curr_pairs, curr_pair_warnings, report)
+
+    if args.markdown:
+        verdict = (
+            f"**{len(regressions)} regression(s)** beyond {args.threshold:.0%}: "
+            + ", ".join(f"`{name}` ({delta:+.1%})" for name, delta in regressions)
+            if regressions
+            else f"no regression beyond {args.threshold:.0%} on {len(common)} benchmarks"
+        )
+        write_markdown(
+            args.markdown,
+            [
+                "### Benchmark comparison",
+                "",
+                verdict,
+                "",
+                pairs_markdown("baseline", base_pairs, base_pair_warnings),
+                pairs_markdown("current", curr_pairs, curr_pair_warnings),
+            ],
+        )
 
     emit_json(
         {
@@ -234,6 +319,8 @@ def main() -> int:
             "only_in_current": only_curr,
             "baseline_throughput_pairs": base_pairs,
             "throughput_pairs": curr_pairs,
+            "baseline_throughput_pair_warnings": base_pair_warnings,
+            "throughput_pair_warnings": curr_pair_warnings,
         }
     )
 

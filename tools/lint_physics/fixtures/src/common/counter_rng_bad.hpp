@@ -1,0 +1,30 @@
+// Known-bad fixture for the profile-math rule's draw-pipeline scope: the
+// fast-profile draw pipeline (common/counter_rng*, common/noise_plane) pins
+// division-free draw math since fast contract v2, so direct <cmath>
+// transcendentals AND std::sqrt are findings here. Never compiled; test
+// data only.
+#include <cmath>
+
+namespace fixture {
+
+double radius_from_uniform(double u1) {
+  return std::sqrt(-2.0 * std::log(u1));  // two findings: sqrt and log
+}
+
+double angle_cos(double u2) {
+  return std::cos(6.283185307179586 * u2);  // finding: bypasses sincos_fast
+}
+
+double norm(double a, double b) {
+  return std::hypot(a, b);  // finding: hidden sqrt
+}
+
+// abs/fma stay single instructions with no divider-port traffic: no finding.
+double folded(double x) { return std::abs(std::fma(x, x, 1.0)); }
+
+// The escape hatch still works for sites outside the bulk draw loops.
+double diagnostic_moment(double m2) {
+  return std::sqrt(m2);  // lint-ok: test-only moment check, not a draw path
+}
+
+}  // namespace fixture

@@ -64,7 +64,8 @@ std::string root_of(const fs::path& path) {
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> catalog{
       {"rng-facade", "raw RNG or wall-clock seeding outside the seeded Rng facade"},
-      {"profile-math", "direct <cmath> transcendental bypassing fidelity-profile dispatch"},
+      {"profile-math", "direct <cmath> transcendental (or sqrt in the draw pipeline) "
+                       "bypassing fidelity-profile dispatch"},
       {"no-printf", "printf-family call inside a src/ library"},
       {"si-literal", "raw SI scale factor where a units.hpp literal exists"},
       {"nodiscard-accessor", "const measurement accessor without [[nodiscard]]"},
@@ -159,7 +160,9 @@ constexpr std::array<std::string_view, 8> kPrintfFamily{
     "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf", "puts", "putchar"};
 
 // <cmath> transcendentals the fast profile replaces with polynomial kernels;
-// sqrt/abs/fma and friends are single instructions and stay allowed.
+// sqrt/abs/fma and friends are single instructions and stay allowed in the
+// model layers (the draw pipeline additionally bans sqrt — see
+// scan_profile_math).
 constexpr std::array<std::string_view, 20> kTranscendentals{
     "exp",  "exp2", "expm1", "log",  "log2", "log10", "log1p", "pow",  "sin",  "cos",
     "tan",  "sincos", "sinh", "cosh", "tanh", "asin",  "acos",  "atan", "atan2", "cbrt"};
@@ -199,6 +202,9 @@ struct FileContext {
   bool is_header = false;
   bool is_rng_facade = false;     // src/common/random.* defines the facade
   bool in_math_layer = false;     // src/analog | src/pipeline | src/batch (profile-math)
+  bool in_draw_pipeline = false;  // common/counter_rng* | common/noise_plane:
+                                  // fast contract v2 is division/sqrt-free, so
+                                  // even std::sqrt is a finding there
   bool is_exact_profile = false;  // transient solver: direct libm is the contract
   bool in_alloc_layer = false;    // src/analog | src/pipeline | src/batch | src/digital
   bool in_clock_exempt = false;   // src/runtime (telemetry), src/service
@@ -217,6 +223,8 @@ FileContext make_context(const fs::path& path) {
   const bool in_pipeline = path_contains(path, "src/pipeline/");
   const bool in_batch = path_contains(path, "src/batch/");
   ctx.in_math_layer = in_analog || in_pipeline || in_batch;
+  ctx.in_draw_pipeline = path_contains(path, "common/counter_rng") ||
+                         path_contains(path, "common/noise_plane");
   ctx.is_exact_profile = path_contains(path, "analog/transient.");
   ctx.in_alloc_layer =
       in_analog || in_pipeline || in_batch || path_contains(path, "src/digital/");
@@ -324,15 +332,31 @@ class TokenScanner {
   }
 
   void scan_profile_math(std::size_t i) {
-    if (!ctx_.in_math_layer || ctx_.is_exact_profile) return;
+    if ((!ctx_.in_math_layer && !ctx_.in_draw_pipeline) || ctx_.is_exact_profile) return;
     if (!id_at(i, "std") || !punct_at(i + 1, "::")) return;
-    if (ident(i + 2) && any_of_ids(kTranscendentals, tokens_[i + 2].text) &&
-        punct_at(i + 3, "(")) {
+    if (!ident(i + 2) || !punct_at(i + 3, "(")) return;
+    const std::string& callee = tokens_[i + 2].text;
+    if (any_of_ids(kTranscendentals, callee)) {
       add(tokens_[i + 2].line, "profile-math",
-          "direct <cmath> transcendental in a per-sample model layer bypasses "
-          "the fidelity-profile dispatch; call adc::common::math::*_p "
-          "(common/fastmath.hpp), or mark construction-time/cached sites "
-          "lint-ok with the reason");
+          ctx_.in_draw_pipeline
+              ? "direct <cmath> transcendental in the fast-profile draw pipeline; "
+                "fast contract v2 pins the division-free fastmath kernels "
+                "(common/fastmath.hpp) — a libm call here silently changes the "
+                "pinned deviates and forks the golden-code fingerprint"
+              : "direct <cmath> transcendental in a per-sample model layer bypasses "
+                "the fidelity-profile dispatch; call adc::common::math::*_p "
+                "(common/fastmath.hpp), or mark construction-time/cached sites "
+                "lint-ok with the reason");
+    } else if (ctx_.in_draw_pipeline && (callee == "sqrt" || callee == "hypot")) {
+      // sqrt is allowed in the model layers (a single instruction), but the
+      // draw pipeline's whole point since contract v2 is keeping the divider/
+      // sqrt ports idle — and vsqrtpd there would re-open the throughput wall.
+      add(tokens_[i + 2].line, "profile-math",
+          "std::" + callee +
+              " in the fast-profile draw pipeline re-opens the divider-port "
+              "wall fast contract v2 removed; use fastmath::sqrt_fast "
+              "(common/fastmath.hpp), or mark a non-draw site lint-ok with "
+              "the reason");
     }
   }
 

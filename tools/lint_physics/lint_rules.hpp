@@ -17,6 +17,12 @@
 ///                       directly; it routes through the profile-dispatched
 ///                       adc::common::math::*_p kernels so the `fast`
 ///                       fidelity profile actually takes the polynomial path.
+///                       The fast-profile draw pipeline (common/counter_rng*,
+///                       common/noise_plane) is also in scope, and there even
+///                       std::sqrt/std::hypot are findings: fast contract v2
+///                       pins division-free draw math (fastmath::sqrt_fast),
+///                       and a libm call would both re-open the divider-port
+///                       wall and silently change the pinned deviates.
 ///   no-printf           src/ libraries never printf to stdout/stderr; results
 ///                       are returned, reports go through testbench/report.
 ///   si-literal          config-struct defaults in headers use the units.hpp
